@@ -1,0 +1,67 @@
+//! Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+//! controller period vs control quality is covered by `repro ablate`;
+//! here we benchmark the *cost* side — how expensive each controller
+//! configuration is to run — plus full profiling-pipeline cost, which is
+//! the paper's headline scalability claim ("characterization cost is
+//! low ... increases linearly over the number of Servpods").
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rhythm_controller::Thresholds;
+use rhythm_core::{ControlMode, Engine, EngineConfig};
+use rhythm_sim::SimDuration;
+use rhythm_workloads::{apps, BeSpec};
+
+fn bench_controller_period_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller-period-cost");
+    for period_ms in [500u64, 2_000, 8_000] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(period_ms),
+            &period_ms,
+            |b, &period_ms| {
+                b.iter(|| {
+                    let mut cfg = EngineConfig::solo(0.6, 10, 5);
+                    cfg.bes = BeSpec::colocation_set();
+                    cfg.sla_ms = 2_000.0;
+                    cfg.controller_period = SimDuration::from_millis(period_ms);
+                    cfg.mode = ControlMode::Managed {
+                        thresholds: vec![Thresholds::new(0.9, 0.1); 2],
+                    };
+                    black_box(Engine::new(apps::solr(), cfg).run().completed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_profiling_scales_with_servpods(c: &mut Criterion) {
+    // The paper: characterization cost is O(M) in Servpods, not O(M*N)
+    // in (LC, BE) pairs. Profile services of increasing Servpod count.
+    let mut g = c.benchmark_group("profiling-cost-by-servpods");
+    for service in [apps::solr(), apps::elgg(), apps::ecommerce()] {
+        let pods = service.len();
+        g.bench_with_input(BenchmarkId::from_parameter(pods), &service, |b, s| {
+            b.iter(|| {
+                let profile = rhythm_core::profile_service(
+                    s,
+                    &rhythm_core::ProfileConfig {
+                        load_levels: vec![0.3, 0.6, 0.9],
+                        duration_s: 5,
+                        seed: 6,
+                        min_requests: 300,
+                        use_tracer: true,
+                    },
+                );
+                black_box(profile.level_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_controller_period_cost, bench_profiling_scales_with_servpods
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Benchmarks of the Rhythm pipeline stages: the cluster engine, the
+//! tracer (capture + pairing) and the contribution analyzer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rhythm_analyzer::contributions;
+use rhythm_core::{profile_service, Engine, EngineConfig, ProfileConfig};
+use rhythm_tracer::capture::{CaptureConfig, EventCapture};
+use rhythm_tracer::Pairer;
+use rhythm_workloads::apps;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/ecommerce solo 10s@60%", |b| {
+        b.iter(|| {
+            let out = Engine::new(apps::ecommerce(), EngineConfig::solo(0.6, 10, 1)).run();
+            black_box(out.completed)
+        })
+    });
+    c.bench_function("engine/snms fanout solo 10s@60%", |b| {
+        b.iter(|| {
+            let out = Engine::new(apps::snms(), EngineConfig::solo(0.6, 10, 1)).run();
+            black_box(out.completed)
+        })
+    });
+}
+
+fn bench_tracer(c: &mut Criterion) {
+    // Capture a realistic trace once, then measure pairing throughput.
+    let mut cfg = EngineConfig::solo(0.5, 10, 2);
+    cfg.capture_visits = true;
+    let out = Engine::new(apps::ecommerce(), cfg).run();
+    c.bench_function("tracer/capture 10s of requests", |b| {
+        b.iter(|| {
+            let mut cap = EventCapture::new(CaptureConfig::default(), 3);
+            for t in &out.visit_trees {
+                cap.record_request(t);
+            }
+            black_box(cap.finish().len())
+        })
+    });
+    let mut cap = EventCapture::new(CaptureConfig::default(), 3);
+    for t in &out.visit_trees {
+        cap.record_request(t);
+    }
+    let events = cap.finish();
+    c.bench_function("tracer/pair events", |b| {
+        b.iter(|| black_box(Pairer::new(0).pair(&events).request_count))
+    });
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let service = apps::ecommerce();
+    let profile = profile_service(
+        &service,
+        &ProfileConfig {
+            load_levels: vec![0.2, 0.4, 0.6, 0.8],
+            duration_s: 8,
+            seed: 4,
+            min_requests: 500,
+            use_tracer: false,
+        },
+    );
+    c.bench_function("analyzer/contributions", |b| {
+        b.iter(|| black_box(contributions(&profile, &service)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine, bench_tracer, bench_analyzer
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the simulation substrates: the event calendar,
+//! latency histogram, RNG streams, statistics and machine accounting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rhythm_machine::{Allocation, Machine, MachineSpec};
+use rhythm_sim::{pearson, Calendar, LatencyHistogram, OnlineStats, SimRng, SimTime};
+
+fn bench_calendar(c: &mut Criterion) {
+    c.bench_function("calendar/schedule+pop 10k", |b| {
+        let mut rng = SimRng::from_seed(1);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.below(1_000_000_000)).collect();
+        b.iter(|| {
+            let mut cal = Calendar::with_capacity(times.len());
+            for (i, &t) in times.iter().enumerate() {
+                cal.schedule(SimTime::from_nanos(t), i);
+            }
+            let mut n = 0;
+            while cal.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut rng = SimRng::from_seed(2);
+    let values: Vec<f64> = (0..10_000).map(|_| rng.uniform_range(0.1, 500.0)).collect();
+    c.bench_function("histogram/record 10k", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            black_box(h.count())
+        })
+    });
+    let mut h = LatencyHistogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    c.bench_function("histogram/p99 query", |b| b.iter(|| black_box(h.p99())));
+}
+
+fn bench_rng_and_stats(c: &mut Criterion) {
+    c.bench_function("rng/lognormal sample 10k", |b| {
+        let d = rhythm_sim::Dist::LogNormal {
+            median: 10.0,
+            sigma: 0.5,
+        };
+        let mut rng = SimRng::from_seed(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    let mut rng = SimRng::from_seed(4);
+    let xs: Vec<f64> = (0..4_096).map(|_| rng.uniform()).collect();
+    let ys: Vec<f64> = (0..4_096).map(|_| rng.uniform()).collect();
+    c.bench_function("stats/pearson 4k", |b| {
+        b.iter(|| black_box(pearson(&xs, &ys)))
+    });
+    c.bench_function("stats/welford 10k", |b| {
+        b.iter(|| {
+            let mut s = OnlineStats::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            black_box(s.sample_variance())
+        })
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    c.bench_function("machine/admit+grow+kill cycle", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(
+                MachineSpec::paper_testbed(),
+                Allocation {
+                    cores: 12,
+                    llc_ways: 0,
+                    mem_mb: 16 * 1024,
+                    net_mbps: 500.0,
+                    freq_mhz: 2_000,
+                },
+            );
+            for _ in 0..8 {
+                let id = m
+                    .admit_be("wc", Allocation::cores_and_llc(1, 2))
+                    .expect("admit");
+                m.grow_be(id, Allocation::cores_and_llc(1, 2)).expect("grow");
+            }
+            m.suspend_all_be();
+            m.resume_all_be();
+            m.kill_all_be();
+            black_box(m.be_started)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_calendar, bench_histogram, bench_rng_and_stats, bench_machine
+}
+criterion_main!(benches);

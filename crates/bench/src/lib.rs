@@ -1,0 +1,114 @@
+//! Reproduction harness for the paper's evaluation (§5).
+//!
+//! Each module regenerates one table or figure; the `repro` binary
+//! dispatches on experiment id and writes both a human-readable text
+//! table and machine-readable JSON under `results/`.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig02`] | Figure 2 — per-component interference characterization |
+//! | [`fig06`] | Figure 6 — E-commerce sojourn times and CoV over load |
+//! | [`fig07`] | Figure 7 — Servpod sensitivity vs contribution |
+//! | [`fig08`] | Figure 8 — CoV curves and loadlimit detection |
+//! | [`colocation`] | the Figures 9-14 constant-load grid |
+//! | [`fig15`] | Figure 15 — production-load improvements |
+//! | [`fig16`] | Figure 16 — SNMS microservice comparison |
+//! | [`fig17`] | Figure 17 — controller timeline |
+//! | [`fig18`] | Figure 18 + Table 2 — threshold sweeps |
+//! | [`tab1`] | Table 1 — workload inventory |
+//! | [`ablate`] | ablations of Rhythm's design choices |
+
+pub mod ablate;
+pub mod colocation;
+pub mod fig02;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod report;
+pub mod tab1;
+
+pub use report::Report;
+
+/// Runs `jobs` closures in parallel across available cores and returns
+/// their results in input order.
+pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let queue: crossbeam::queue::SegQueue<(usize, F)> = crossbeam::queue::SegQueue::new();
+    for (i, j) in jobs.into_iter().enumerate() {
+        queue.push((i, j));
+    }
+    let slots: Vec<slot::Slot<T>> = (0..n).map(|_| slot::Slot::new()).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                while let Some((i, job)) = queue.pop() {
+                    slots[i].put(job());
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    for (i, slot) in slots.into_iter().enumerate() {
+        results[i] = slot.take();
+    }
+    results.into_iter().map(|r| r.expect("job ran")).collect()
+}
+
+/// A tiny once-per-index result slot.
+mod slot {
+    use std::sync::Mutex;
+
+    pub struct Slot<T>(Mutex<Option<T>>);
+
+    impl<T> Slot<T> {
+        pub fn new() -> Self {
+            Slot(Mutex::new(None))
+        }
+
+        pub fn put(&self, v: T) {
+            *self.0.lock().expect("slot poisoned") = Some(v);
+        }
+
+        pub fn take(self) -> Option<T> {
+            self.0.into_inner().expect("slot poisoned")
+        }
+    }
+
+    impl<T> Default for Slot<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..32usize).map(|i| Box::new(move || i * i) as _).collect();
+        let out = parallel_map(jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = Vec::new();
+        assert!(parallel_map(jobs).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Result reporting: aligned text plus JSON under `results/`.
+
+use serde::Serialize;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A report for one experiment id.
+pub struct Report {
+    id: String,
+    title: String,
+    text: String,
+    out_dir: PathBuf,
+}
+
+impl Report {
+    /// Starts a report for experiment `id` (e.g. "fig09").
+    pub fn new(id: &str, title: &str) -> Report {
+        let out_dir = std::env::var("RHYTHM_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            text: format!("== {id}: {title} ==\n"),
+            out_dir,
+        }
+    }
+
+    /// Appends a text line.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        self.text.push_str(s.as_ref());
+        self.text.push('\n');
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.text.push('\n');
+    }
+
+    /// The accumulated text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The experiment id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The experiment title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Writes `<id>.txt` and `<id>.json` under the results directory and
+    /// prints the text to stdout.
+    pub fn finish<T: Serialize>(self, data: &T) -> std::io::Result<()> {
+        fs::create_dir_all(&self.out_dir)?;
+        let txt = self.out_dir.join(format!("{}.txt", self.id));
+        fs::write(&txt, &self.text)?;
+        let json = self.out_dir.join(format!("{}.json", self.id));
+        let mut f = fs::File::create(&json)?;
+        serde_json::to_writer_pretty(&mut f, data)?;
+        writeln!(f)?;
+        print!("{}", self.text);
+        println!("[written {} and {}]", txt.display(), json.display());
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percent with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_writes() {
+        std::env::set_var(
+            "RHYTHM_RESULTS_DIR",
+            std::env::temp_dir().join("rhythm-test-results"),
+        );
+        let mut r = Report::new("test-exp", "unit test");
+        r.line("row 1");
+        r.blank();
+        r.line(format!("value {}", pct(0.123)));
+        assert!(r.text().contains("row 1"));
+        assert!(r.text().contains("12.3%"));
+        r.finish(&serde_json::json!({"ok": true})).unwrap();
+        let p = std::env::temp_dir().join("rhythm-test-results/test-exp.json");
+        assert!(p.exists());
+        std::env::remove_var("RHYTHM_RESULTS_DIR");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(1.317), "131.7%");
+    }
+}

@@ -1,0 +1,27 @@
+//! Table 1 — the workload inventory, rendered from the live specs.
+
+use rhythm_workloads::catalog;
+
+/// Runs the experiment and writes the report.
+pub fn run() -> std::io::Result<()> {
+    let mut report = crate::Report::new("tab1", "LC workloads and BE jobs (Table 1)");
+    report.line(catalog::render_table1());
+    let lc = catalog::lc_rows();
+    let be = catalog::be_rows();
+    report.line(format!("{} LC services, {} BE jobs", lc.len(), be.len()));
+    report.finish(&serde_json::json!({
+        "lc": lc.iter().map(|r| serde_json::json!({
+            "workload": r.workload,
+            "domain": r.domain,
+            "servpods": r.servpods,
+            "maxload_qps": r.maxload_qps,
+            "sla_ms": r.sla_ms,
+            "containers": r.containers,
+        })).collect::<Vec<_>>(),
+        "be": be.iter().map(|r| serde_json::json!({
+            "workload": r.workload,
+            "domain": r.domain,
+            "intensive": r.intensive,
+        })).collect::<Vec<_>>(),
+    }))
+}

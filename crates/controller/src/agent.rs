@@ -1,0 +1,276 @@
+//! The per-machine controller agent.
+//!
+//! One agent runs on every machine hosting an LC Servpod. Each period
+//! (2 s in the paper) it reads the monitored load and tail latency,
+//! lets the policy pick an action (Algorithm 2), and drives the four
+//! subcontrollers to implement it.
+
+use crate::action::BeAction;
+use crate::policy::ThresholdPolicy;
+use crate::subcontrollers::{cut_step, frequency_step, grow_step, network_step, GrowthConfig};
+use rhythm_machine::Machine;
+use rhythm_workloads::BeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Monitoring inputs for one control period.
+#[derive(Clone, Copy, Debug)]
+pub struct AgentInputs {
+    /// Measured request load as a fraction of max load.
+    pub load_fraction: f64,
+    /// Measured tail latency over the monitoring window, in ms.
+    pub tail_ms: f64,
+    /// The SLA target in ms.
+    pub sla_ms: f64,
+    /// LC network usage in Mbit/s (for the network subcontroller).
+    pub lc_net_mbps: f64,
+    /// LC CPU utilization in `[0,1]` (for the power model).
+    pub lc_cpu_util: f64,
+    /// BE CPU utilization in `[0,1]`.
+    pub be_cpu_util: f64,
+    /// True if the scheduler has BE jobs waiting for this machine.
+    pub be_jobs_pending: bool,
+}
+
+/// Cumulative agent statistics (reported in Table 2 / Figure 17).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct AgentStats {
+    /// Control periods executed.
+    pub ticks: u64,
+    /// Periods that observed an SLA violation (slack < 0).
+    pub sla_violations: u64,
+    /// BE jobs killed by StopBE.
+    pub be_kills: u64,
+    /// Count of each action taken, indexed by
+    /// [`BeAction::severity`].
+    pub action_counts: [u64; 5],
+}
+
+/// The per-machine agent.
+#[derive(Clone, Debug)]
+pub struct ControllerAgent {
+    policy: ThresholdPolicy,
+    growth: GrowthConfig,
+    stats: AgentStats,
+    last_action: Option<BeAction>,
+}
+
+impl ControllerAgent {
+    /// Creates an agent with the given policy and growth configuration.
+    pub fn new(policy: ThresholdPolicy, growth: GrowthConfig) -> Self {
+        ControllerAgent {
+            policy,
+            growth,
+            stats: AgentStats::default(),
+            last_action: None,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &ThresholdPolicy {
+        &self.policy
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    /// The most recent action (None before the first tick).
+    pub fn last_action(&self) -> Option<BeAction> {
+        self.last_action
+    }
+
+    /// Executes one control period: decide, then actuate.
+    ///
+    /// Returns the action taken.
+    pub fn tick(&mut self, machine: &mut Machine, be: &BeSpec, inputs: &AgentInputs) -> BeAction {
+        let slack = ThresholdPolicy::slack(inputs.tail_ms, inputs.sla_ms);
+        let action = self.policy.decide(inputs.load_fraction, slack);
+        self.stats.ticks += 1;
+        if slack < 0.0 {
+            self.stats.sla_violations += 1;
+        }
+        self.stats.action_counts[action.severity() as usize] += 1;
+        match action {
+            BeAction::StopBe => {
+                self.stats.be_kills += machine.be_count() as u64;
+                machine.kill_all_be();
+                machine.qdisc.zero_be();
+            }
+            BeAction::SuspendBe => {
+                machine.suspend_all_be();
+                machine.qdisc.zero_be();
+            }
+            BeAction::CutBe => {
+                cut_step(machine, &self.growth);
+            }
+            BeAction::DisallowBeGrowth => {
+                // Existing BE jobs keep running untouched.
+            }
+            BeAction::AllowBeGrowth => {
+                grow_step(machine, be, &self.growth, inputs.be_jobs_pending);
+            }
+        }
+        // The frequency and network subcontrollers run every period
+        // regardless of the decision (they guard power and LC traffic).
+        frequency_step(machine, inputs.lc_cpu_util, inputs.be_cpu_util);
+        if matches!(action, BeAction::StopBe | BeAction::SuspendBe) {
+            machine.qdisc.zero_be();
+        } else {
+            network_step(machine, inputs.lc_net_mbps);
+        }
+        self.last_action = Some(action);
+        debug_assert!(machine.check_invariants().is_ok());
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Thresholds;
+    use rhythm_machine::{Allocation, MachineSpec};
+    use rhythm_workloads::BeKind;
+
+    fn machine() -> Machine {
+        Machine::new(
+            MachineSpec::paper_testbed(),
+            Allocation {
+                cores: 16,
+                llc_ways: 0,
+                mem_mb: 64 * 1024,
+                net_mbps: 1_000.0,
+                freq_mhz: 2_000,
+            },
+        )
+    }
+
+    fn agent() -> ControllerAgent {
+        ControllerAgent::new(
+            ThresholdPolicy::rhythm(Thresholds::new(0.87, 0.08)),
+            GrowthConfig::default(),
+        )
+    }
+
+    fn inputs(load: f64, tail: f64) -> AgentInputs {
+        AgentInputs {
+            load_fraction: load,
+            tail_ms: tail,
+            sla_ms: 250.0,
+            lc_net_mbps: 500.0,
+            lc_cpu_util: 0.5,
+            be_cpu_util: 0.3,
+            be_jobs_pending: true,
+        }
+    }
+
+    #[test]
+    fn comfortable_slack_grows_be() {
+        let mut m = machine();
+        let mut a = agent();
+        for _ in 0..5 {
+            let act = a.tick(&mut m, &BeSpec::of(BeKind::Wordcount), &inputs(0.3, 100.0));
+            assert_eq!(act, BeAction::AllowBeGrowth);
+        }
+        assert!(m.be_count() >= 1);
+        assert!(m.qdisc.be_limit_mbps() > 0.0);
+        assert_eq!(a.stats().ticks, 5);
+        assert_eq!(a.stats().sla_violations, 0);
+    }
+
+    #[test]
+    fn sla_violation_stops_and_counts_kills() {
+        let mut m = machine();
+        let mut a = agent();
+        let wc = BeSpec::of(BeKind::Wordcount);
+        for _ in 0..3 {
+            a.tick(&mut m, &wc, &inputs(0.3, 100.0));
+        }
+        let live = m.be_count() as u64;
+        assert!(live > 0);
+        let act = a.tick(&mut m, &wc, &inputs(0.3, 300.0));
+        assert_eq!(act, BeAction::StopBe);
+        assert_eq!(m.be_count(), 0);
+        assert_eq!(a.stats().be_kills, live);
+        assert_eq!(a.stats().sla_violations, 1);
+        assert_eq!(m.qdisc.be_limit_mbps(), 0.0);
+    }
+
+    #[test]
+    fn overload_suspends_but_keeps_instances() {
+        let mut m = machine();
+        let mut a = agent();
+        let wc = BeSpec::of(BeKind::Wordcount);
+        for _ in 0..3 {
+            a.tick(&mut m, &wc, &inputs(0.3, 100.0));
+        }
+        let live = m.be_count();
+        let act = a.tick(&mut m, &wc, &inputs(0.95, 100.0));
+        assert_eq!(act, BeAction::SuspendBe);
+        assert_eq!(m.be_count(), live, "instances retained");
+        assert_eq!(m.running_be_count(), 0);
+        assert_eq!(m.qdisc.be_limit_mbps(), 0.0);
+    }
+
+    #[test]
+    fn recovery_resumes_suspended_jobs() {
+        let mut m = machine();
+        let mut a = agent();
+        let wc = BeSpec::of(BeKind::Wordcount);
+        for _ in 0..3 {
+            a.tick(&mut m, &wc, &inputs(0.3, 100.0));
+        }
+        a.tick(&mut m, &wc, &inputs(0.95, 100.0));
+        assert_eq!(m.running_be_count(), 0);
+        a.tick(&mut m, &wc, &inputs(0.3, 100.0));
+        assert!(m.running_be_count() > 0, "Figure 17: BE returns to growth");
+    }
+
+    #[test]
+    fn tight_slack_cuts_resources() {
+        let mut m = machine();
+        let mut a = agent();
+        let wc = BeSpec::of(BeKind::Wordcount);
+        for _ in 0..6 {
+            a.tick(&mut m, &wc, &inputs(0.3, 100.0));
+        }
+        let before = m.be_total_alloc().cores;
+        // Slack = (250-245)/250 = 0.02 < 0.04 = slacklimit/2.
+        let act = a.tick(&mut m, &wc, &inputs(0.3, 245.0));
+        assert_eq!(act, BeAction::CutBe);
+        assert!(m.be_total_alloc().cores < before);
+        assert_eq!(m.be_count() as u64, a.stats().be_kills + m.be_count() as u64, "no kills");
+    }
+
+    #[test]
+    fn disallow_growth_keeps_allocations() {
+        let mut m = machine();
+        let mut a = agent();
+        let wc = BeSpec::of(BeKind::Wordcount);
+        for _ in 0..4 {
+            a.tick(&mut m, &wc, &inputs(0.3, 100.0));
+        }
+        let before = m.be_total_alloc();
+        // Slack = 0.06, between slacklimit/2=0.04 and slacklimit=0.08.
+        let act = a.tick(&mut m, &wc, &inputs(0.3, 235.0));
+        assert_eq!(act, BeAction::DisallowBeGrowth);
+        let after = m.be_total_alloc();
+        assert_eq!(before.cores, after.cores);
+        assert_eq!(before.llc_ways, after.llc_ways);
+    }
+
+    #[test]
+    fn action_counts_accumulate() {
+        let mut m = machine();
+        let mut a = agent();
+        let wc = BeSpec::of(BeKind::Wordcount);
+        a.tick(&mut m, &wc, &inputs(0.3, 100.0)); // Allow.
+        a.tick(&mut m, &wc, &inputs(0.95, 100.0)); // Suspend.
+        a.tick(&mut m, &wc, &inputs(0.3, 300.0)); // Stop.
+        let s = a.stats();
+        assert_eq!(s.action_counts[BeAction::AllowBeGrowth.severity() as usize], 1);
+        assert_eq!(s.action_counts[BeAction::SuspendBe.severity() as usize], 1);
+        assert_eq!(s.action_counts[BeAction::StopBe.severity() as usize], 1);
+        assert_eq!(a.last_action(), Some(BeAction::StopBe));
+    }
+}

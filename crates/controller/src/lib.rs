@@ -1,0 +1,30 @@
+//! Runtime co-location controller (paper §3.5.2).
+//!
+//! Each machine hosting an LC Servpod runs an agent built from one
+//! top-level controller and four subcontrollers. Every period (2 seconds
+//! in the paper) the top controller compares the measured request load
+//! and tail-latency slack against the Servpod's `loadlimit` and
+//! `slacklimit` thresholds and picks one of five actions; the
+//! subcontrollers then adjust core, LLC, memory, frequency and network
+//! allocations accordingly.
+//!
+//! The Heracles baseline the paper compares against is the same machinery
+//! with *uniform* thresholds (no BE when load > 0.85, no BE growth when
+//! slack < 0.10) — which isolates exactly the paper's claim: the win
+//! comes from per-Servpod thresholds.
+//!
+//! * [`action`] — the five BE control actions.
+//! * [`policy`] — Algorithm 2 and the Heracles variant.
+//! * [`subcontrollers`] — CPU/LLC, frequency, memory, network.
+//! * [`agent`] — the per-machine agent tying policy and subcontrollers
+//!   together.
+
+pub mod action;
+pub mod agent;
+pub mod policy;
+pub mod subcontrollers;
+
+pub use action::BeAction;
+pub use agent::{AgentInputs, AgentStats, ControllerAgent};
+pub use policy::{ThresholdPolicy, Thresholds};
+pub use subcontrollers::GrowthConfig;

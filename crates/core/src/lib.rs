@@ -1,0 +1,33 @@
+//! Rhythm's core: deployment, runtime and experiments.
+//!
+//! This crate assembles the substrates into the system of the paper:
+//!
+//! * [`servpod`] — the Servpod abstraction (§3.1): LC components mapped
+//!   onto physical machines, one Servpod per machine.
+//! * [`runtime`] — the discrete-event cluster engine: open-loop request
+//!   arrivals flow through the service DAG's queueing network while BE
+//!   jobs run under per-machine controller agents, with interference
+//!   coupling the two.
+//! * [`metrics`] — EMU (effective machine utilization), CPU and memory
+//!   bandwidth utilization, tail latencies (§5.1 metrics).
+//! * [`profiling`] — the offline pipeline (§3.2): solo-run sweep →
+//!   request tracing → contribution analysis → loadlimit/slacklimit.
+//! * [`experiment`] — co-location experiment runner comparing Rhythm,
+//!   Heracles and solo baselines.
+//! * [`bubble`] — the indirect ("bubble pressure") profiling alternative
+//!   the paper rejects in §3.2, implemented for comparison.
+//! * [`timeline`] — the Figure 17 running-process recorder.
+
+pub mod bubble;
+pub mod experiment;
+pub mod metrics;
+pub mod profiling;
+pub mod runtime;
+pub mod servpod;
+pub mod timeline;
+
+pub use experiment::{ColocationOutcome, ExperimentConfig};
+pub use metrics::{PodMetrics, RunMetrics};
+pub use profiling::{profile_service, derive_thresholds, ProfileConfig, ServiceThresholds};
+pub use runtime::{ControlMode, Engine, EngineConfig, EngineOutput};
+pub use servpod::{Deployment, Servpod};

@@ -1,0 +1,316 @@
+//! The offline profiling pipeline (§3.2): "profiling LC once, feedback
+//! control BE".
+//!
+//! For a newly deployed LC service, Rhythm activates the request tracer
+//! and contribution analyzer exactly once:
+//!
+//! 1. **Solo-run sweep** — the service runs alone under a load generator
+//!    sweeping a spectrum of load levels; every request's system events
+//!    are captured and paired into per-Servpod sojourn times.
+//! 2. **Contribution analysis** — Equations 1-5 turn the per-load mean
+//!    sojourns into per-Servpod contributions.
+//! 3. **Thresholding** — `loadlimit` from the sojourn CoV curves,
+//!    `slacklimit` from Algorithm 1 probation runs with representative
+//!    mixed BEs.
+
+use crate::runtime::{ControlMode, Engine, EngineConfig, EngineOutput};
+use rhythm_analyzer::contribution::{contributions, Contribution};
+use rhythm_analyzer::loadlimit::loadlimits;
+use rhythm_analyzer::profile::{LoadLevel, SojournProfile};
+use rhythm_analyzer::slacklimit::find_slacklimits;
+use rhythm_controller::Thresholds;
+use rhythm_sim::OnlineStats;
+use rhythm_tracer::{CaptureConfig, EventCapture, Pairer};
+use rhythm_workloads::{BeSpec, ServiceSpec};
+use serde::{Deserialize, Serialize};
+
+/// Profiling configuration.
+#[derive(Clone, Debug)]
+pub struct ProfileConfig {
+    /// Load levels to sweep (fractions of max load).
+    pub load_levels: Vec<f64>,
+    /// Run length per level in seconds.
+    pub duration_s: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Minimum requests per level: low-load levels are run longer so CoV
+    /// estimates stay comparable across the sweep.
+    pub min_requests: u64,
+    /// If true, sojourns are extracted through the full tracer pipeline
+    /// (event capture → noise filter → pairing); if false, ground-truth
+    /// sojourns are read directly from the engine (faster, used by the
+    /// large experiment sweeps).
+    pub use_tracer: bool,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            load_levels: (1..=19).map(|i| i as f64 * 0.05).collect(),
+            duration_s: 40,
+            seed: 42,
+            min_requests: 8_000,
+            use_tracer: false,
+        }
+    }
+}
+
+/// The thresholds Rhythm derives for one service.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceThresholds {
+    /// Per-Servpod contributions (Equations 1-5).
+    pub contributions: Vec<Contribution>,
+    /// Per-Servpod thresholds.
+    pub thresholds: Vec<Thresholds>,
+    /// The measured SLA in ms (the paper's methodology: the worst tail
+    /// at max load during a solo run).
+    pub sla_ms: f64,
+}
+
+/// Measures the service's SLA the way the paper does (§5.1): run the
+/// service solo at its maximum allowable load, record the tail latency
+/// per interval, "and set the worst one as the SLA". The worst
+/// per-window tail over a long run sits well above the aggregate tail,
+/// which is what gives the controller its working slack at lower loads.
+pub fn calibrate_sla(service: &ServiceSpec, seed: u64) -> f64 {
+    let cfg = EngineConfig::solo(1.0, 600, seed ^ 0x51A);
+    let out = Engine::new(service.clone(), cfg).run();
+    out.worst_window_p99_ms * 1.05
+}
+
+/// Runs the solo-run sweep and builds the sojourn profile.
+pub fn profile_service(service: &ServiceSpec, cfg: &ProfileConfig) -> SojournProfile {
+    assert!(!cfg.load_levels.is_empty(), "no load levels");
+    let n = service.len();
+    let mut levels = Vec::with_capacity(cfg.load_levels.len());
+    let maxload = service.sim_maxload_rps();
+    for (li, &load) in cfg.load_levels.iter().enumerate() {
+        // Stretch low-load levels so every level sees enough requests.
+        let needed_s = (cfg.min_requests as f64 / (load.max(0.01) * maxload)).ceil() as u64;
+        let duration = cfg.duration_s.max(needed_s);
+        let mut ecfg = EngineConfig::solo(load, duration, cfg.seed.wrapping_add(li as u64));
+        ecfg.collect_sojourns = !cfg.use_tracer;
+        ecfg.capture_visits = cfg.use_tracer;
+        let out = Engine::new(service.clone(), ecfg).run();
+        let (means, covs, requests) = if cfg.use_tracer {
+            extract_via_tracer(&out, n, cfg.seed.wrapping_add(li as u64))
+        } else {
+            extract_ground_truth(&out, n)
+        };
+        levels.push(LoadLevel {
+            load,
+            mean_sojourn_ms: means,
+            sojourn_cov: covs,
+            tail_ms: out.p99_ms(),
+            requests,
+        });
+    }
+    SojournProfile {
+        pod_names: service
+            .component_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        levels,
+    }
+}
+
+fn extract_ground_truth(out: &EngineOutput, n: usize) -> (Vec<f64>, Vec<f64>, u64) {
+    let sojourns = out
+        .sojourns
+        .as_ref()
+        .expect("engine collected sojourns");
+    let mut means = Vec::with_capacity(n);
+    let mut covs = Vec::with_capacity(n);
+    for pod_sojourns in sojourns.iter().take(n) {
+        let mut stats = OnlineStats::new();
+        for &s in pod_sojourns {
+            stats.push(s);
+        }
+        means.push(stats.mean());
+        covs.push(stats.cov());
+    }
+    (means, covs, out.completed)
+}
+
+/// Runs the §3.3 tracer over the captured visit trees: synthesize the
+/// kernel event stream (with noise), filter, pair, and read per-request
+/// sojourns back out.
+fn extract_via_tracer(out: &EngineOutput, n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, u64) {
+    let mut capture = EventCapture::new(
+        CaptureConfig {
+            noise_events_per_request: 4,
+            ..CaptureConfig::default()
+        },
+        seed,
+    );
+    for tree in &out.visit_trees {
+        capture.record_request(tree);
+    }
+    let requests = capture.request_count();
+    let events = capture.finish();
+    let paired = Pairer::new(0).pair(&events);
+    let mut means = Vec::with_capacity(n);
+    let mut covs = Vec::with_capacity(n);
+    for pod in 0..n {
+        let sojourns = paired.sojourns(pod as u32);
+        let mut stats = OnlineStats::new();
+        for s in sojourns {
+            stats.push(s);
+        }
+        means.push(stats.mean());
+        covs.push(stats.cov());
+    }
+    (means, covs, requests)
+}
+
+/// Derives the per-Servpod thresholds from a profile (§3.5.1).
+///
+/// `loadlimit` comes from the CoV curves; `slacklimit` from Algorithm 1,
+/// where each probation run co-locates the service with the given mixed
+/// BEs at a representative load and checks the SLA.
+pub fn derive_thresholds(
+    service: &ServiceSpec,
+    profile: &SojournProfile,
+    sla_ms: f64,
+    probe_bes: &[BeSpec],
+    seed: u64,
+) -> ServiceThresholds {
+    let contribs = contributions(profile, service);
+    let lls = loadlimits(profile);
+    let raw: Vec<f64> = contribs.iter().map(|c| c.value).collect();
+    let probe_duration = 300;
+    let search = find_slacklimits(&raw, |candidate| {
+        let thresholds: Vec<Thresholds> = lls
+            .iter()
+            .zip(candidate)
+            .map(|(&ll, &sl)| Thresholds::new(ll, sl))
+            .collect();
+        let mut cfg = EngineConfig::solo(0.8, probe_duration, seed ^ 0xBEE5);
+        cfg.bes = probe_bes.to_vec();
+        cfg.sla_ms = sla_ms;
+        cfg.mode = ControlMode::Managed { thresholds };
+        let out = Engine::new(service.clone(), cfg).run();
+        // Algorithm 1's SLA_evaluation(): any control period that saw
+        // slack < 0 during the probation counts as a violation.
+        let m = crate::metrics::RunMetrics::from_output(&out);
+        m.sla_violations > 0 || out.p99_ms() > sla_ms
+    });
+    let thresholds = lls
+        .iter()
+        .zip(&search.slacklimits)
+        .map(|(&ll, &sl)| Thresholds::new(ll, sl))
+        .collect();
+    ServiceThresholds {
+        contributions: contribs,
+        thresholds,
+        sla_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhythm_workloads::apps;
+    use rhythm_workloads::BeKind;
+
+    fn quick_cfg() -> ProfileConfig {
+        ProfileConfig {
+            load_levels: vec![0.2, 0.4, 0.6, 0.8],
+            duration_s: 15,
+            seed: 7,
+            min_requests: 500,
+            use_tracer: false,
+        }
+    }
+
+    #[test]
+    fn profile_has_expected_shape() {
+        let service = apps::ecommerce();
+        let p = profile_service(&service, &quick_cfg());
+        assert!(p.validate().is_ok());
+        assert_eq!(p.pods(), 4);
+        assert_eq!(p.level_count(), 4);
+        // Tail grows with load.
+        let tails = p.tail_series();
+        assert!(tails.last().unwrap() > tails.first().unwrap());
+    }
+
+    #[test]
+    fn mysql_contributes_most_in_ecommerce() {
+        let service = apps::ecommerce();
+        let p = profile_service(&service, &quick_cfg());
+        let c = contributions(&p, &service);
+        let mysql = c.iter().find(|x| x.name == "mysql").unwrap();
+        for other in c.iter().filter(|x| x.name != "mysql") {
+            assert!(
+                mysql.value >= other.value,
+                "mysql {} vs {} {}",
+                mysql.value,
+                other.name,
+                other.value
+            );
+        }
+    }
+
+    #[test]
+    fn tracer_and_ground_truth_agree_on_means() {
+        let service = apps::solr();
+        let mut cfg = quick_cfg();
+        cfg.load_levels = vec![0.3, 0.6];
+        let truth = profile_service(&service, &cfg);
+        cfg.use_tracer = true;
+        let traced = profile_service(&service, &cfg);
+        for j in 0..truth.level_count() {
+            for i in 0..truth.pods() {
+                let a = truth.levels[j].mean_sojourn_ms[i];
+                let b = traced.levels[j].mean_sojourn_ms[i];
+                assert!(
+                    (a - b).abs() / a.max(1e-9) < 0.02,
+                    "pod {i} level {j}: truth {a} vs traced {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_sla_is_generous_at_low_load() {
+        let service = apps::solr();
+        let sla = calibrate_sla(&service, 3);
+        assert!(sla > 0.0);
+        let out = Engine::new(service, EngineConfig::solo(0.3, 15, 3)).run();
+        assert!(out.p99_ms() < sla, "p99 at 30% load is inside the SLA");
+    }
+
+    #[test]
+    fn thresholds_reflect_contribution_order() {
+        let service = apps::ecommerce();
+        let p = profile_service(&service, &quick_cfg());
+        let sla = calibrate_sla(&service, 7);
+        let t = derive_thresholds(
+            &service,
+            &p,
+            sla,
+            &[BeSpec::of(BeKind::Wordcount)],
+            7,
+        );
+        assert_eq!(t.thresholds.len(), 4);
+        let idx = |name: &str| service.index_of(name).unwrap();
+        // MySQL (largest contribution) gets the largest slacklimit —
+        // controlled most conservatively (paper: 0.347 vs 0.078/0.04/
+        // 0.032).
+        let mysql = t.thresholds[idx("mysql")].slacklimit;
+        for name in ["haproxy", "tomcat", "amoeba"] {
+            assert!(
+                mysql >= t.thresholds[idx(name)].slacklimit,
+                "mysql {} vs {name} {}",
+                mysql,
+                t.thresholds[idx(name)].slacklimit
+            );
+        }
+        // Loadlimits are sane fractions.
+        for th in &t.thresholds {
+            assert!((0.1..=1.0).contains(&th.loadlimit));
+        }
+    }
+}

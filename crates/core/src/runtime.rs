@@ -1,0 +1,1138 @@
+//! The discrete-event cluster runtime.
+//!
+//! One engine run simulates an LC service deployed across its Servpod
+//! machines (one component per machine) under an offered load, optionally
+//! co-located with BE jobs that are either statically pinned (the §2
+//! characterization) or managed by per-machine controller agents (Rhythm
+//! or the Heracles baseline — the difference is only the thresholds).
+//!
+//! The coupling loop of the paper is reproduced end to end: BE grants →
+//! machine pressure → LC service-time inflation → queueing → tail latency
+//! → slack → controller actions → BE grants.
+
+use crate::servpod::Deployment;
+use rhythm_controller::{AgentInputs, AgentStats, ControllerAgent, GrowthConfig, ThresholdPolicy, Thresholds};
+use rhythm_interference::{InterferenceModel, Pressure};
+use rhythm_machine::machine::BeState;
+use rhythm_machine::{Allocation, MachineSpec};
+use rhythm_sim::{Calendar, Dist, LatencyHistogram, OnlineStats, SimDuration, SimRng, SimTime, TailWindow};
+use rhythm_tracer::capture::VisitNode;
+use rhythm_workloads::{BeSpec, LoadGen, ServiceSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// How BE jobs are (or are not) run alongside the LC service.
+#[derive(Clone, Debug)]
+pub enum ControlMode {
+    /// LC service alone (profiling / SLA calibration runs).
+    Solo,
+    /// BE instances pinned at a fixed allocation with no runtime control
+    /// (the §2 characterization in Figure 2).
+    Static {
+        /// Instances started per machine at t=0.
+        instances: u32,
+        /// Cores per instance.
+        cores: u32,
+        /// LLC ways per instance.
+        llc_ways: u32,
+        /// Servpods to co-locate on (empty = all machines). Figure 2
+        /// interferes with a single component at a time.
+        pods: Vec<usize>,
+    },
+    /// Per-machine controller agents with the given per-Servpod
+    /// thresholds (Rhythm) — pass uniform [`Thresholds::heracles`] values
+    /// for the baseline.
+    Managed {
+        /// One threshold pair per Servpod.
+        thresholds: Vec<Thresholds>,
+    },
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Machine model for every Servpod host.
+    pub machine_spec: MachineSpec,
+    /// BE workloads to run (round-robin admission); empty means no BE.
+    pub bes: Vec<BeSpec>,
+    /// Control mode.
+    pub mode: ControlMode,
+    /// Offered load over time.
+    pub load: LoadGen,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Warm-up period excluded from metrics.
+    pub warmup: SimDuration,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+    /// BE growth/admission configuration.
+    pub growth: GrowthConfig,
+    /// SLA target in ms used by the controllers.
+    pub sla_ms: f64,
+    /// Optional LC DVFS override in MHz (the Figure 2 DVFS group).
+    pub lc_freq_mhz: Option<u32>,
+    /// Servpods the DVFS override applies to (empty = all).
+    pub lc_freq_pods: Vec<usize>,
+    /// Interference model.
+    pub interference: InterferenceModel,
+    /// Controller period (paper: 2 s).
+    pub controller_period: SimDuration,
+    /// Collect per-request, per-pod sojourn times (profiling).
+    pub collect_sojourns: bool,
+    /// Build tracer visit trees for every completed request (profiling).
+    pub capture_visits: bool,
+    /// Record the Figure 17 timeline.
+    pub record_timeline: bool,
+    /// BE jobs waiting in the cluster scheduler's queue per machine
+    /// (paper §4, "interact with scheduler"): `None` models an unbounded
+    /// backlog (the datacenter always has batch work); `Some(n)` lets at
+    /// most `n` admissions happen per machine.
+    pub be_queue_per_machine: Option<u32>,
+}
+
+impl EngineConfig {
+    /// A solo run at constant `load` for `duration` seconds.
+    pub fn solo(load: f64, duration_s: u64, seed: u64) -> Self {
+        EngineConfig {
+            machine_spec: MachineSpec::paper_testbed(),
+            bes: Vec::new(),
+            mode: ControlMode::Solo,
+            load: LoadGen::constant(load),
+            duration: SimDuration::from_secs(duration_s),
+            warmup: SimDuration::from_secs((duration_s / 10).max(2)),
+            seed,
+            growth: GrowthConfig::default(),
+            sla_ms: f64::INFINITY,
+            lc_freq_mhz: None,
+            lc_freq_pods: Vec::new(),
+            interference: InterferenceModel::calibrated(),
+            controller_period: SimDuration::from_secs(2),
+            collect_sojourns: false,
+            capture_visits: false,
+            record_timeline: false,
+            be_queue_per_machine: None,
+        }
+    }
+}
+
+/// One point of the Figure 17 timeline (sampled every controller period).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Sample time in seconds.
+    pub t_s: f64,
+    /// Measured load fraction.
+    pub load: f64,
+    /// Measured slack.
+    pub slack: f64,
+    /// Per-pod machine CPU utilization (LC + BE) in percent.
+    pub cpu_util_pct: Vec<f64>,
+    /// Per-pod BE LLC ways.
+    pub be_llc_ways: Vec<u32>,
+    /// Per-pod BE cores.
+    pub be_cores: Vec<u32>,
+    /// Per-pod BE instance counts.
+    pub be_instances: Vec<u32>,
+    /// Per-pod BE throughput rate (solo-machine equivalents).
+    pub be_throughput: Vec<f64>,
+}
+
+/// Per-pod aggregates over the measured (post-warmup) window.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PodRuntime {
+    /// Servpod name.
+    pub name: String,
+    /// Average machine CPU utilization (LC + BE) in `[0,1]`.
+    pub cpu_util: f64,
+    /// Average LC-only CPU utilization in `[0,1]`.
+    pub lc_cpu_util: f64,
+    /// Average memory-bandwidth utilization (LC + BE) in `[0,1]`.
+    pub membw_util: f64,
+    /// Time-averaged BE throughput (normalized jobs/hour basis; 1.0 =
+    /// one solo machine's worth of batch work).
+    pub be_throughput: f64,
+    /// Average number of live BE instances.
+    pub be_instances_avg: f64,
+    /// Controller statistics (None in Solo/Static modes).
+    pub agent: Option<AgentStats>,
+    /// Per-request sojourn statistics.
+    pub sojourn_stats: OnlineStats,
+}
+
+/// Everything an engine run produces.
+#[derive(Clone, Debug)]
+pub struct EngineOutput {
+    /// Requests completed after warm-up.
+    pub completed: u64,
+    /// Requests completed in total.
+    pub completed_total: u64,
+    /// End-to-end latency histogram (post-warmup).
+    pub latency: LatencyHistogram,
+    /// The SLA used by the controllers, in ms.
+    pub sla_ms: f64,
+    /// Offered max load of the service in requests/second.
+    pub maxload_rps: f64,
+    /// Average offered load fraction over the measured window.
+    pub offered_load_avg: f64,
+    /// Measured window length in seconds.
+    pub measured_s: f64,
+    /// Worst 99th percentile over any 10-second window (post-warmup) —
+    /// the statistic the paper's SLA methodology uses.
+    pub worst_window_p99_ms: f64,
+    /// Per-Servpod aggregates.
+    pub pods: Vec<PodRuntime>,
+    /// Per-request per-pod sojourns (if `collect_sojourns`): outer index
+    /// = pod, inner = request.
+    pub sojourns: Option<Vec<Vec<f64>>>,
+    /// Tracer visit trees (if `capture_visits`).
+    pub visit_trees: Vec<VisitNode>,
+    /// Figure 17 timeline (if `record_timeline`).
+    pub timeline: Vec<TimelinePoint>,
+}
+
+impl EngineOutput {
+    /// The 99th-percentile latency in ms over the measured window.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency.p99()
+    }
+
+    /// Mean end-to-end latency in ms.
+    pub fn mean_ms(&self) -> f64 {
+        self.latency.mean()
+    }
+}
+
+/// Simulation events.
+enum Ev {
+    Arrive,
+    PhaseEnd { req: u64, visit: usize },
+    Control,
+    Metrics,
+}
+
+/// Per-visit interpreter state.
+struct Visit {
+    node: usize,
+    parent: Option<(usize, usize)>,
+    /// Child visit indices (within the request).
+    children: Vec<usize>,
+    parallel: bool,
+    phase: usize,
+    n_phases: usize,
+    pending_children: usize,
+    phase_start: SimTime,
+    sojourn_ns: u64,
+    /// Recorded phases (only when capturing visit trees).
+    phase_rec: Vec<(SimTime, SimTime)>,
+}
+
+struct Request {
+    arrival: SimTime,
+    visits: Vec<Visit>,
+}
+
+/// Per-node (per-machine) queueing state.
+struct NodeState {
+    workers: u32,
+    busy: u32,
+    queue: VecDeque<(u64, usize)>,
+    /// Current service-time inflation factor.
+    inflation: f64,
+    /// Worker-busy integral for utilization (ns × workers).
+    busy_area: u128,
+    last_busy_change: SimTime,
+    /// Completed visit counter (for per-node rate estimates).
+    visits_done_window: u64,
+}
+
+/// The engine itself.
+pub struct Engine {
+    service: ServiceSpec,
+    cfg: EngineConfig,
+    deployment: Deployment,
+    nodes: Vec<NodeState>,
+    agents: Vec<Option<ControllerAgent>>,
+    be_specs: BTreeMap<String, BeSpec>,
+    cal: Calendar<Ev>,
+    rng_arrival: SimRng,
+    rng_service: SimRng,
+    rng_path: SimRng,
+    requests: HashMap<u64, Request>,
+    next_req: u64,
+    maxload: f64,
+    /// Expected visits per node (constant for the service; cached).
+    visits: Vec<f64>,
+    tail: TailWindow,
+    /// Ring of arrival counts for the last 10 seconds.
+    arrivals_ring: VecDeque<(u64, u32)>,
+    // Measurement accumulators (post-warmup).
+    hist: LatencyHistogram,
+    completed: u64,
+    completed_total: u64,
+    window_hist: LatencyHistogram,
+    window_epoch: u64,
+    worst_window_p99: f64,
+    sojourn_stats: Vec<OnlineStats>,
+    sojourns: Option<Vec<Vec<f64>>>,
+    visit_trees: Vec<VisitNode>,
+    timeline: Vec<TimelinePoint>,
+    // Integrals.
+    be_progress_int: Vec<f64>,
+    be_instances_int: Vec<f64>,
+    cpu_util_int: Vec<f64>,
+    lc_cpu_util_int: Vec<f64>,
+    membw_int: Vec<f64>,
+    offered_int: f64,
+    int_time: f64,
+    last_integral_at: SimTime,
+    measure_from: SimTime,
+    end_at: SimTime,
+}
+
+impl Engine {
+    /// Builds an engine for `service` under `cfg`.
+    pub fn new(service: ServiceSpec, cfg: EngineConfig) -> Engine {
+        let deployment = Deployment::new(service.clone(), cfg.machine_spec);
+        let maxload = service.sim_maxload_rps();
+        let visits = service.expected_visits();
+        let n = service.len();
+        let root = SimRng::from_seed(cfg.seed);
+        let nodes = service
+            .nodes
+            .iter()
+            .map(|node| NodeState {
+                workers: node.component.workers,
+                busy: 0,
+                queue: VecDeque::new(),
+                inflation: 1.0,
+                busy_area: 0,
+                last_busy_change: SimTime::ZERO,
+                visits_done_window: 0,
+            })
+            .collect();
+        let agents: Vec<Option<ControllerAgent>> = match &cfg.mode {
+            ControlMode::Managed { thresholds } => {
+                assert_eq!(thresholds.len(), n, "one threshold pair per Servpod");
+                thresholds
+                    .iter()
+                    .map(|&t| Some(ControllerAgent::new(ThresholdPolicy::rhythm(t), cfg.growth)))
+                    .collect()
+            }
+            _ => (0..n).map(|_| None).collect(),
+        };
+        let be_specs = cfg
+            .bes
+            .iter()
+            .map(|b| (b.name.clone(), b.clone()))
+            .collect();
+        let sojourns = cfg.collect_sojourns.then(|| vec![Vec::new(); n]);
+        let measure_from = SimTime::ZERO + cfg.warmup;
+        let end_at = SimTime::ZERO + cfg.duration;
+        Engine {
+            nodes,
+            agents,
+            be_specs,
+            cal: Calendar::with_capacity(1024),
+            rng_arrival: root.split("arrivals"),
+            rng_service: root.split("service"),
+            rng_path: root.split("path"),
+            requests: HashMap::new(),
+            next_req: 0,
+            maxload,
+            visits,
+            tail: TailWindow::new(SimDuration::from_secs(10), 10),
+            arrivals_ring: VecDeque::new(),
+            hist: LatencyHistogram::new(),
+            completed: 0,
+            completed_total: 0,
+            window_hist: LatencyHistogram::new(),
+            window_epoch: 0,
+            worst_window_p99: 0.0,
+            sojourn_stats: vec![OnlineStats::new(); n],
+            sojourns,
+            visit_trees: Vec::new(),
+            timeline: Vec::new(),
+            be_progress_int: vec![0.0; n],
+            be_instances_int: vec![0.0; n],
+            cpu_util_int: vec![0.0; n],
+            lc_cpu_util_int: vec![0.0; n],
+            membw_int: vec![0.0; n],
+            offered_int: 0.0,
+            int_time: 0.0,
+            last_integral_at: measure_from,
+            measure_from,
+            end_at,
+            deployment,
+            service,
+            cfg,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the outputs.
+    pub fn run(mut self) -> EngineOutput {
+        self.setup();
+        while let Some((now, ev)) = self.cal.pop() {
+            match ev {
+                Ev::Arrive => self.on_arrive(now),
+                Ev::PhaseEnd { req, visit } => self.on_phase_end(now, req, visit),
+                Ev::Control => self.on_control(now),
+                Ev::Metrics => self.on_metrics(now),
+            }
+            if self.cal.is_empty() {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    fn setup(&mut self) {
+        if let Some(mhz) = self.cfg.lc_freq_mhz {
+            let pods = self.cfg.lc_freq_pods.clone();
+            for (i, m) in self.deployment.machines.iter_mut().enumerate() {
+                if pods.is_empty() || pods.contains(&i) {
+                    m.lc_dvfs.set_mhz(mhz);
+                }
+            }
+        }
+        if let ControlMode::Static {
+            instances,
+            cores,
+            llc_ways,
+            ref pods,
+        } = self.cfg.mode
+        {
+            let pods = pods.clone();
+            let specs: Vec<BeSpec> = self.cfg.bes.clone();
+            if !specs.is_empty() {
+                for (mi, m) in self.deployment.machines.iter_mut().enumerate() {
+                    if !pods.is_empty() && !pods.contains(&mi) {
+                        continue;
+                    }
+                    for i in 0..instances {
+                        let be = &specs[i as usize % specs.len()];
+                        let req = Allocation {
+                            cores,
+                            llc_ways,
+                            mem_mb: be.mem_mb,
+                            net_mbps: 0.0,
+                            freq_mhz: m.be_dvfs.current_mhz(),
+                        };
+                        let _ = m.admit_be(&be.name, req);
+                    }
+                    // Static colocation gives BE jobs the full leftover
+                    // bandwidth rule once (no controller protects LC).
+                    m.qdisc.reallocate(0.0);
+                }
+            }
+        }
+        self.refresh_inflations();
+        self.schedule_next_arrival(SimTime::ZERO);
+        if matches!(self.cfg.mode, ControlMode::Managed { .. }) {
+            self.cal
+                .schedule(SimTime::ZERO + self.cfg.controller_period, Ev::Control);
+        }
+        self.cal
+            .schedule(SimTime::ZERO + SimDuration::from_secs(1), Ev::Metrics);
+    }
+
+    fn schedule_next_arrival(&mut self, now: SimTime) {
+        if now >= self.end_at {
+            return;
+        }
+        let frac = self.cfg.load.fraction_at(now).max(1e-6);
+        let rate = frac * self.maxload; // Requests per second.
+        let gap_s = -(1.0 - self.rng_arrival.uniform()).ln() / rate;
+        let at = now + SimDuration::from_secs_f64(gap_s);
+        if at < self.end_at {
+            self.cal.schedule(at, Ev::Arrive);
+        }
+    }
+
+    /// Samples the visit plan for a new request (which calls fire).
+    fn plan_visits(&mut self, arrival: SimTime) -> Vec<Visit> {
+        let mut visits: Vec<Visit> = Vec::with_capacity(self.service.len());
+        // Stack of (node, parent visit, child slot).
+        let mut stack: Vec<(usize, Option<(usize, usize)>)> = vec![(ServiceSpec::ENTRY, None)];
+        while let Some((node, parent)) = stack.pop() {
+            let spec = &self.service.nodes[node];
+            let mut sampled: Vec<usize> = Vec::new();
+            for call in &spec.calls {
+                if call.probability >= 1.0 || self.rng_path.chance(call.probability) {
+                    sampled.push(call.target);
+                }
+            }
+            let idx = visits.len();
+            let n_phases = if sampled.is_empty() {
+                1
+            } else if spec.parallel {
+                2
+            } else {
+                sampled.len() + 1
+            };
+            visits.push(Visit {
+                node,
+                parent,
+                children: Vec::with_capacity(sampled.len()),
+                parallel: spec.parallel,
+                phase: 0,
+                n_phases,
+                pending_children: 0,
+                phase_start: arrival,
+                sojourn_ns: 0,
+                phase_rec: Vec::new(),
+            });
+            // Push in reverse so the LIFO stack creates sibling visits in
+            // call order (sequential nodes dispatch children by order).
+            for (slot, child_node) in sampled.iter().enumerate().rev() {
+                stack.push((*child_node, Some((idx, slot))));
+            }
+        }
+        // Wire children arrays (the stack pushed children after parents,
+        // so parent indices are valid).
+        for i in 0..visits.len() {
+            if let Some((p, _slot)) = visits[i].parent {
+                visits[p].children.push(i);
+            }
+        }
+        visits
+    }
+
+    fn on_arrive(&mut self, now: SimTime) {
+        let id = self.next_req;
+        self.next_req += 1;
+        let visits = self.plan_visits(now);
+        self.requests.insert(
+            id,
+            Request {
+                arrival: now,
+                visits,
+            },
+        );
+        self.count_arrival(now);
+        self.enqueue_phase(now, id, 0);
+        self.schedule_next_arrival(now);
+    }
+
+    fn count_arrival(&mut self, now: SimTime) {
+        let sec = now.as_nanos() / 1_000_000_000;
+        match self.arrivals_ring.back_mut() {
+            Some((s, c)) if *s == sec => *c += 1,
+            _ => self.arrivals_ring.push_back((sec, 1)),
+        }
+        while let Some(&(s, _)) = self.arrivals_ring.front() {
+            if sec - s >= 11 {
+                self.arrivals_ring.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Measured request rate over the last 10 *complete* seconds
+    /// (requests/second). The current partial second is excluded — it
+    /// would bias the estimate low.
+    fn measured_rate(&self, now: SimTime) -> f64 {
+        let sec = now.as_nanos() / 1_000_000_000;
+        let total: u32 = self
+            .arrivals_ring
+            .iter()
+            .filter(|&&(s, _)| {
+                let age = sec.saturating_sub(s);
+                (1..=10).contains(&age)
+            })
+            .map(|&(_, c)| c)
+            .sum();
+        let window = 10.0_f64.min(sec.max(1) as f64);
+        total as f64 / window
+    }
+
+    fn update_busy(&mut self, node: usize, now: SimTime, delta: i32) {
+        let ns = &mut self.nodes[node];
+        let dt = now.saturating_since(ns.last_busy_change).as_nanos();
+        ns.busy_area += dt as u128 * ns.busy as u128;
+        ns.last_busy_change = now;
+        ns.busy = (ns.busy as i32 + delta).max(0) as u32;
+    }
+
+    fn enqueue_phase(&mut self, now: SimTime, req: u64, visit: usize) {
+        let node = self.requests[&req].visits[visit].node;
+        if self.nodes[node].busy < self.nodes[node].workers {
+            self.start_phase(now, req, visit);
+        } else {
+            self.nodes[node].queue.push_back((req, visit));
+        }
+    }
+
+    fn start_phase(&mut self, now: SimTime, req: u64, visit: usize) {
+        let node;
+        let dur_ms;
+        {
+            let r = self.requests.get_mut(&req).expect("request exists");
+            let v = &mut r.visits[visit];
+            node = v.node;
+            v.phase_start = now;
+            let spec = &self.service.nodes[node].component;
+            let base = Self::phase_duration(
+                spec.pre_ms,
+                spec.post_ms,
+                v.phase,
+                v.n_phases,
+                !self.service.nodes[node].calls.is_empty(),
+                &mut self.rng_service,
+            );
+            // Interference inflation compounds with the load-contention
+            // inflation (locks/pools degrade with offered load), plus
+            // rare service bursts whose probability ramps up around the
+            // component's knee (GC pauses, compactions — Figure 8).
+            let f = self.cfg.load.fraction_at(now);
+            let burst = if self.rng_service.chance(spec.burst_probability(f)) {
+                1.0 + Dist::Exponential { mean: 2.0 }.sample(&mut self.rng_service)
+            } else {
+                1.0
+            };
+            dur_ms = base * self.nodes[node].inflation * spec.contention_factor(f) * burst;
+        }
+        self.update_busy(node, now, 1);
+        let at = now + SimDuration::from_millis_f64(dur_ms.max(1e-6));
+        self.cal.schedule(at, Ev::PhaseEnd { req, visit });
+    }
+
+    /// The work distribution of one phase: phase 0 samples the pre
+    /// distribution, later phases the post distribution. A node whose
+    /// downstream calls were all skipped this request (single phase, but
+    /// the component *has* call edges) does both phases' work locally.
+    fn phase_duration(
+        pre: Dist,
+        post: Dist,
+        phase: usize,
+        n_phases: usize,
+        has_calls: bool,
+        rng: &mut SimRng,
+    ) -> f64 {
+        if n_phases == 1 {
+            if has_calls && post.mean() > 0.0 {
+                pre.sample(rng) + post.sample(rng)
+            } else {
+                pre.sample(rng)
+            }
+        } else if phase == 0 {
+            pre.sample(rng)
+        } else {
+            post.sample(rng)
+        }
+    }
+
+    fn on_phase_end(&mut self, now: SimTime, req: u64, visit: usize) {
+        let node = self.requests[&req].visits[visit].node;
+        self.update_busy(node, now, -1);
+        // Start the next queued phase on this node.
+        if let Some((q_req, q_visit)) = self.nodes[node].queue.pop_front() {
+            self.start_phase(now, q_req, q_visit);
+        }
+        // Advance the visit.
+        let (dispatch, complete): (Vec<usize>, bool) = {
+            let r = self.requests.get_mut(&req).expect("request exists");
+            let v = &mut r.visits[visit];
+            let started = v.phase_start;
+            v.sojourn_ns += now.saturating_since(started).as_nanos();
+            if self.cfg.capture_visits {
+                v.phase_rec.push((started, now));
+            }
+            v.phase += 1;
+            if v.parallel && v.phase == 1 && !v.children.is_empty() {
+                v.pending_children = v.children.len();
+                (v.children.clone(), false)
+            } else if !v.parallel && v.phase <= v.children.len() {
+                (vec![v.children[v.phase - 1]], false)
+            } else if v.phase >= v.n_phases {
+                (Vec::new(), true)
+            } else {
+                (Vec::new(), false)
+            }
+        };
+        self.nodes[node].visits_done_window += if complete { 1 } else { 0 };
+        for child in dispatch {
+            self.enqueue_phase(now, req, child);
+        }
+        if complete {
+            self.on_visit_complete(now, req, visit);
+        }
+    }
+
+    fn on_visit_complete(&mut self, now: SimTime, req: u64, visit: usize) {
+        let parent = self.requests[&req].visits[visit].parent;
+        match parent {
+            Some((p, _slot)) => {
+                let resume = {
+                    let r = self.requests.get_mut(&req).expect("request exists");
+                    let pv = &mut r.visits[p];
+                    if pv.parallel {
+                        pv.pending_children -= 1;
+                        pv.pending_children == 0
+                    } else {
+                        true
+                    }
+                };
+                if resume {
+                    self.enqueue_phase(now, req, p);
+                }
+            }
+            None => self.on_request_complete(now, req),
+        }
+    }
+
+    fn on_request_complete(&mut self, now: SimTime, req: u64) {
+        let r = self.requests.remove(&req).expect("request exists");
+        let latency_ms = now.saturating_since(r.arrival).as_millis_f64();
+        self.tail.record(now, latency_ms);
+        self.completed_total += 1;
+        if now < self.measure_from {
+            return;
+        }
+        self.completed += 1;
+        self.hist.record(latency_ms);
+        // Track the worst 10-second-window tail (the paper's SLA
+        // statistic).
+        let epoch = now.as_nanos() / 10_000_000_000;
+        if epoch != self.window_epoch {
+            if !self.window_hist.is_empty() {
+                self.worst_window_p99 = self.worst_window_p99.max(self.window_hist.p99());
+            }
+            self.window_hist.reset();
+            self.window_epoch = epoch;
+        }
+        self.window_hist.record(latency_ms);
+        for v in &r.visits {
+            let ms = v.sojourn_ns as f64 / 1e6;
+            self.sojourn_stats[v.node].push(ms);
+            if let Some(s) = &mut self.sojourns {
+                s[v.node].push(ms);
+            }
+        }
+
+        if self.cfg.capture_visits {
+            if let Some(tree) = Self::build_visit_tree(&r, 0) {
+                self.visit_trees.push(tree);
+            }
+        }
+    }
+
+    fn build_visit_tree(r: &Request, idx: usize) -> Option<VisitNode> {
+        let v = r.visits.get(idx)?;
+        let children = v
+            .children
+            .iter()
+            .filter_map(|&c| Self::build_visit_tree(r, c))
+            .collect();
+        Some(VisitNode {
+            pod: v.node as u32,
+            phases: v.phase_rec.clone(),
+            children,
+            parallel: v.parallel,
+        })
+    }
+
+    /// Recomputes the interference inflation of every node from the
+    /// machines' current BE population and isolation state.
+    fn refresh_inflations(&mut self) {
+        for i in 0..self.nodes.len() {
+            let machine = &self.deployment.machines[i];
+            let comp = &self.service.nodes[i].component;
+            let rate = self.current_node_rate(i);
+            let pressure = Pressure::from_machine(machine, &self.be_specs).with_lc_usage(
+                machine.spec(),
+                comp.membw_mbps_at(rate),
+                comp.net_mbps_at(rate),
+            );
+            self.nodes[i].inflation = self.cfg.interference.inflation(comp, &pressure, machine);
+        }
+    }
+
+    /// Estimated request rate at node `i` (service rate × expected
+    /// visits).
+    fn current_node_rate(&self, i: usize) -> f64 {
+        let frac = self.cfg.load.fraction_at(self.cal.now());
+        frac * self.maxload * self.visits[i]
+    }
+
+    /// Instantaneous BE progress rate on machine `i`.
+    fn be_rate(&self, i: usize) -> f64 {
+        let m = &self.deployment.machines[i];
+        let freq = m.be_dvfs.speed_fraction();
+        let total_demand: f64 = m
+            .be_instances()
+            .filter(|b| b.state == BeState::Running)
+            .filter_map(|b| self.be_specs.get(&b.workload))
+            .map(|s| s.net_demand_mbps)
+            .sum();
+        let net_frac = if total_demand > 0.0 {
+            (m.qdisc.be_limit_mbps() / total_demand).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let total: f64 = m
+            .be_instances()
+            .filter(|b| b.state == BeState::Running)
+            .filter_map(|b| {
+                self.be_specs
+                    .get(&b.workload)
+                    .map(|s| s.progress_rate(b.alloc.cores, freq, b.alloc.llc_ways, net_frac))
+            })
+            .sum();
+        // A machine cannot out-produce a dedicated solo machine: the solo
+        // run already saturates the job's bottleneck resource (§5.1
+        // normalization).
+        total.min(1.0)
+    }
+
+    /// Instantaneous machine CPU utilization split (LC busy fraction,
+    /// BE cores).
+    fn cpu_utils(&self, i: usize) -> (f64, f64) {
+        let ns = &self.nodes[i];
+        // Instantaneous busy fraction approximated by current busy count.
+        let lc_busy_frac = (ns.busy as f64 / ns.workers as f64).clamp(0.0, 1.0);
+        let m = &self.deployment.machines[i];
+        let lc_cores_busy = lc_busy_frac * m.lc_alloc().cores as f64;
+        let be_cores: u32 = m
+            .be_instances()
+            .filter(|b| b.state == BeState::Running)
+            .map(|b| b.alloc.cores)
+            .sum();
+        (
+            lc_cores_busy / m.spec().total_cores() as f64,
+            be_cores as f64 * m.be_dvfs.speed_fraction() / m.spec().total_cores() as f64,
+        )
+    }
+
+    /// Instantaneous memory-bandwidth utilization of machine `i`.
+    fn membw_util(&self, i: usize) -> f64 {
+        let m = &self.deployment.machines[i];
+        let comp = &self.service.nodes[i].component;
+        let lc = comp.membw_mbps_at(self.current_node_rate(i)) / m.spec().total_membw_mbps();
+        let freq = m.be_dvfs.speed_fraction();
+        let be: f64 = m
+            .be_instances()
+            .filter(|b| b.state == BeState::Running)
+            .filter_map(|b| {
+                self.be_specs
+                    .get(&b.workload)
+                    .map(|s| s.dram_pressure_per_core * b.alloc.cores as f64 * freq)
+            })
+            .sum();
+        (lc + be).clamp(0.0, 1.0)
+    }
+
+    /// Integrates the slow-moving metrics since the last integration
+    /// point (they only change at controller/metric ticks).
+    fn integrate(&mut self, now: SimTime) {
+        if now <= self.measure_from {
+            return;
+        }
+        let from = self.last_integral_at.max(self.measure_from);
+        let dt = now.saturating_since(from).as_secs_f64();
+        self.last_integral_at = now;
+        if dt <= 0.0 {
+            return;
+        }
+        self.int_time += dt;
+        self.offered_int += self.cfg.load.fraction_at(now).min(1.0) * dt;
+        for i in 0..self.nodes.len() {
+            self.be_progress_int[i] += self.be_rate(i) * dt;
+            self.be_instances_int[i] += self.deployment.machines[i].be_count() as f64 * dt;
+            let (lc, be) = self.cpu_utils(i);
+            self.lc_cpu_util_int[i] += lc * dt;
+            self.cpu_util_int[i] += (lc + be).min(1.0) * dt;
+            self.membw_int[i] += self.membw_util(i) * dt;
+        }
+    }
+
+    fn on_metrics(&mut self, now: SimTime) {
+        self.integrate(now);
+        let next = now + SimDuration::from_secs(1);
+        if next < self.end_at {
+            self.cal.schedule(next, Ev::Metrics);
+        }
+    }
+
+    fn on_control(&mut self, now: SimTime) {
+        self.integrate(now);
+        let load_fraction = self.measured_rate(now) / self.maxload;
+        let tail_ms = self.tail.quantile(now, 0.99);
+        let slack = ThresholdPolicy::slack(tail_ms, self.cfg.sla_ms);
+        let n = self.nodes.len();
+        let bes: Vec<BeSpec> = self.cfg.bes.clone();
+        for i in 0..n {
+            let Some(agent) = self.agents[i].as_mut() else {
+                continue;
+            };
+            if bes.is_empty() {
+                continue;
+            }
+            let machine = &mut self.deployment.machines[i];
+            let comp = &self.service.nodes[i].component;
+            let rate = self.cfg.load.fraction_at(now) * self.maxload * self.visits[i];
+            let ns = &self.nodes[i];
+            let lc_cpu = (ns.busy as f64 / ns.workers as f64).clamp(0.0, 1.0);
+            let be_cpu = if machine.running_be_count() > 0 { 1.0 } else { 0.0 };
+            // Round-robin the BE workload offered to the admission step.
+            let be = &bes[(machine.be_started as usize) % bes.len()];
+            // Scheduler interaction (§4): the machine only receives new
+            // BE jobs while the scheduler's queue for it is non-empty.
+            let pending = match self.cfg.be_queue_per_machine {
+                None => true,
+                Some(limit) => machine.be_started < limit as u64,
+            };
+            let inputs = AgentInputs {
+                load_fraction,
+                tail_ms,
+                sla_ms: self.cfg.sla_ms,
+                lc_net_mbps: comp.net_mbps_at(rate),
+                lc_cpu_util: lc_cpu,
+                be_cpu_util: be_cpu,
+                be_jobs_pending: pending,
+            };
+            agent.tick(machine, be, &inputs);
+        }
+        self.refresh_inflations();
+        if self.cfg.record_timeline && now >= self.measure_from {
+            let point = TimelinePoint {
+                t_s: now.as_secs_f64(),
+                load: load_fraction,
+                slack,
+                cpu_util_pct: (0..n)
+                    .map(|i| {
+                        let (lc, be) = self.cpu_utils(i);
+                        (lc + be) * 100.0
+                    })
+                    .collect(),
+                be_llc_ways: (0..n)
+                    .map(|i| self.deployment.machines[i].cat().be_ways())
+                    .collect(),
+                be_cores: (0..n)
+                    .map(|i| self.deployment.machines[i].be_total_alloc().cores)
+                    .collect(),
+                be_instances: (0..n)
+                    .map(|i| self.deployment.machines[i].be_count() as u32)
+                    .collect(),
+                be_throughput: (0..n).map(|i| self.be_rate(i)).collect(),
+            };
+            self.timeline.push(point);
+        }
+        let next = now + self.cfg.controller_period;
+        if next < self.end_at {
+            self.cal.schedule(next, Ev::Control);
+        }
+    }
+
+    fn finish(mut self) -> EngineOutput {
+        let end = self.end_at;
+        self.integrate(end);
+        if !self.window_hist.is_empty() {
+            self.worst_window_p99 = self.worst_window_p99.max(self.window_hist.p99());
+        }
+        let t = self.int_time.max(1e-9);
+        let pods = (0..self.nodes.len())
+            .map(|i| PodRuntime {
+                name: self.service.nodes[i].component.name.clone(),
+                cpu_util: self.cpu_util_int[i] / t,
+                lc_cpu_util: self.lc_cpu_util_int[i] / t,
+                membw_util: self.membw_int[i] / t,
+                be_throughput: self.be_progress_int[i] / t,
+                be_instances_avg: self.be_instances_int[i] / t,
+                agent: self.agents[i].as_ref().map(|a| a.stats()),
+                sojourn_stats: self.sojourn_stats[i],
+            })
+            .collect();
+        EngineOutput {
+            completed: self.completed,
+            completed_total: self.completed_total,
+            latency: self.hist,
+            sla_ms: self.cfg.sla_ms,
+            maxload_rps: self.maxload,
+            offered_load_avg: self.offered_int / t,
+            measured_s: t,
+            worst_window_p99_ms: self.worst_window_p99,
+            pods,
+            sojourns: self.sojourns,
+            visit_trees: self.visit_trees,
+            timeline: self.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhythm_workloads::apps;
+    use rhythm_workloads::BeKind;
+
+    fn quick_solo(load: f64, seed: u64) -> EngineOutput {
+        let cfg = EngineConfig::solo(load, 30, seed);
+        Engine::new(apps::ecommerce(), cfg).run()
+    }
+
+    #[test]
+    fn solo_run_completes_requests() {
+        let out = quick_solo(0.5, 1);
+        // 0.5 × ~590 rps × ~27 measured seconds.
+        assert!(out.completed > 500, "completed={}", out.completed);
+        assert!(out.p99_ms() > out.mean_ms());
+        assert!(out.mean_ms() > 20.0, "mean={}", out.mean_ms());
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let low = quick_solo(0.2, 2);
+        let high = quick_solo(0.9, 2);
+        assert!(
+            high.p99_ms() > 1.5 * low.p99_ms(),
+            "p99 {} vs {}",
+            high.p99_ms(),
+            low.p99_ms()
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = quick_solo(0.6, 7);
+        let b = quick_solo(0.6, 7);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.p99_ms(), b.p99_ms());
+        let c = quick_solo(0.6, 8);
+        assert_ne!(a.completed, c.completed);
+    }
+
+    #[test]
+    fn sojourn_ordering_matches_figure6() {
+        // MySQL should have the largest mean sojourn at high load;
+        // HAProxy and Amoeba tiny.
+        let out = quick_solo(0.8, 3);
+        let by_name: std::collections::BTreeMap<&str, f64> = out
+            .pods
+            .iter()
+            .map(|p| (p.name.as_str(), p.sojourn_stats.mean()))
+            .collect();
+        assert!(by_name["mysql"] > by_name["amoeba"]);
+        assert!(by_name["mysql"] > by_name["haproxy"]);
+        assert!(by_name["tomcat"] > by_name["amoeba"]);
+    }
+
+    #[test]
+    fn static_colocation_inflates_latency() {
+        let solo = quick_solo(0.6, 4);
+        let mut cfg = EngineConfig::solo(0.6, 30, 4);
+        cfg.bes = vec![BeSpec::of(BeKind::StreamDram { big: true })];
+        cfg.mode = ControlMode::Static {
+            instances: 2,
+            cores: 4,
+            llc_ways: 4,
+            pods: Vec::new(),
+        };
+        let coloc = Engine::new(apps::ecommerce(), cfg).run();
+        assert!(
+            coloc.p99_ms() > 1.3 * solo.p99_ms(),
+            "colocated p99 {} vs solo {}",
+            coloc.p99_ms(),
+            solo.p99_ms()
+        );
+    }
+
+    #[test]
+    fn managed_mode_launches_and_controls_be() {
+        let solo = quick_solo(0.5, 5);
+        let mut cfg = EngineConfig::solo(0.5, 60, 5);
+        cfg.bes = vec![BeSpec::of(BeKind::Wordcount)];
+        cfg.sla_ms = solo.p99_ms() * 1.6;
+        cfg.mode = ControlMode::Managed {
+            thresholds: vec![Thresholds::new(0.9, 0.05); 4],
+        };
+        let sla_ms = cfg.sla_ms;
+        let out = Engine::new(apps::ecommerce(), cfg).run();
+        let total_be: f64 = out.pods.iter().map(|p| p.be_throughput).sum();
+        assert!(total_be > 0.05, "BE made progress: {total_be}");
+        for p in &out.pods {
+            assert!(p.agent.is_some());
+            assert!(p.cpu_util >= p.lc_cpu_util);
+        }
+        // SLA should hold with these generous targets.
+        assert!(out.p99_ms() <= sla_ms * 1.05, "p99 {} sla {}", out.p99_ms(), sla_ms);
+    }
+
+    #[test]
+    fn sojourn_collection_and_visit_trees() {
+        let mut cfg = EngineConfig::solo(0.4, 20, 6);
+        cfg.collect_sojourns = true;
+        cfg.capture_visits = true;
+        let out = Engine::new(apps::ecommerce(), cfg).run();
+        let s = out.sojourns.as_ref().unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].len() as u64, out.completed);
+        assert_eq!(out.visit_trees.len() as u64, out.completed);
+        // Ground truth: tree sojourns equal collected sojourns on average.
+        let tree_mean: f64 = out
+            .visit_trees
+            .iter()
+            .map(|t| t.sojourn_ms())
+            .sum::<f64>()
+            / out.visit_trees.len() as f64;
+        let collected_mean = s[0].iter().sum::<f64>() / s[0].len() as f64;
+        assert!((tree_mean - collected_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fan_out_service_runs() {
+        let cfg = EngineConfig::solo(0.6, 30, 7);
+        let out = Engine::new(apps::snms(), cfg).run();
+        assert!(out.completed > 500, "completed={}", out.completed);
+        // All three pods visited.
+        for p in &out.pods {
+            assert!(p.sojourn_stats.count() > 0, "{} never visited", p.name);
+        }
+    }
+
+    #[test]
+    fn probabilistic_calls_visit_sometimes() {
+        let cfg = EngineConfig::solo(0.5, 20, 8);
+        let out = Engine::new(apps::elgg(), cfg).run();
+        let mysql_visits = out.pods[2].sojourn_stats.count();
+        let front_visits = out.pods[0].sojourn_stats.count();
+        assert!(mysql_visits > 0);
+        let ratio = mysql_visits as f64 / front_visits as f64;
+        assert!((0.2..0.4).contains(&ratio), "p=0.3 visits, got {ratio}");
+    }
+
+    #[test]
+    fn finite_be_queue_limits_admissions() {
+        let mut cfg = EngineConfig::solo(0.4, 60, 11);
+        cfg.bes = vec![BeSpec::of(BeKind::Wordcount)];
+        cfg.sla_ms = 10_000.0;
+        cfg.be_queue_per_machine = Some(2);
+        cfg.mode = ControlMode::Managed {
+            thresholds: vec![Thresholds::new(0.9, 0.05); 4],
+        };
+        let out = Engine::new(apps::ecommerce(), cfg).run();
+        for p in &out.pods {
+            assert!(
+                p.be_instances_avg <= 2.0 + 1e-9,
+                "{}: {} instances with a 2-job queue",
+                p.name,
+                p.be_instances_avg
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_recorded_in_managed_mode() {
+        let mut cfg = EngineConfig::solo(0.5, 30, 9);
+        cfg.bes = vec![BeSpec::of(BeKind::Wordcount)];
+        cfg.sla_ms = 500.0;
+        cfg.mode = ControlMode::Managed {
+            thresholds: vec![Thresholds::new(0.9, 0.1); 4],
+        };
+        cfg.record_timeline = true;
+        let out = Engine::new(apps::ecommerce(), cfg).run();
+        assert!(!out.timeline.is_empty());
+        let p = &out.timeline[0];
+        assert_eq!(p.cpu_util_pct.len(), 4);
+        assert_eq!(p.be_cores.len(), 4);
+    }
+}

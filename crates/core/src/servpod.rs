@@ -1,0 +1,121 @@
+//! The Servpod abstraction (§3.1) and service deployment.
+//!
+//! A Servpod is the collection of LC components deployed together on one
+//! physical machine. The paper assumes the scheduler has already placed
+//! components; following its evaluation we deploy one component per
+//! machine, so the number of Servpods equals the number of machines.
+
+use rhythm_machine::{Allocation, Machine, MachineSpec};
+use rhythm_workloads::ServiceSpec;
+use serde::{Deserialize, Serialize};
+
+/// One Servpod: the mapping of a service component onto a machine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Servpod {
+    /// Index of the Servpod (== machine index == DAG node index).
+    pub index: usize,
+    /// Name of the component(s) it hosts.
+    pub name: String,
+}
+
+/// A deployed LC service: machines plus the Servpod mapping.
+pub struct Deployment {
+    /// The service being deployed.
+    pub service: ServiceSpec,
+    /// One machine per Servpod.
+    pub machines: Vec<Machine>,
+    /// The Servpod records.
+    pub servpods: Vec<Servpod>,
+}
+
+impl Deployment {
+    /// Deploys `service` with one component per machine of the given
+    /// spec, reserving each component's cores/memory for the LC side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service fails validation or a component exceeds the
+    /// machine capacity.
+    pub fn new(service: ServiceSpec, machine_spec: MachineSpec) -> Deployment {
+        service.validate().expect("invalid service");
+        let maxload = service.sim_maxload_rps();
+        let visits = service.expected_visits();
+        let machines: Vec<Machine> = service
+            .nodes
+            .iter()
+            .zip(&visits)
+            .map(|(node, &v)| {
+                let c = &node.component;
+                // Reserve network headroom for the component's peak rate.
+                let peak_net = c.net_mbps_at(maxload * v) * 1.5;
+                Machine::new(
+                    machine_spec,
+                    Allocation {
+                        cores: c.cores,
+                        llc_ways: 0,
+                        mem_mb: c.mem_mb,
+                        net_mbps: peak_net,
+                        freq_mhz: machine_spec.max_freq_mhz,
+                    },
+                )
+            })
+            .collect();
+        let servpods = service
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(index, node)| Servpod {
+                index,
+                name: node.component.name.clone(),
+            })
+            .collect();
+        Deployment {
+            service,
+            machines,
+            servpods,
+        }
+    }
+
+    /// Number of Servpods (== machines).
+    pub fn len(&self) -> usize {
+        self.servpods.len()
+    }
+
+    /// True if the deployment is empty (never happens for a valid
+    /// service).
+    pub fn is_empty(&self) -> bool {
+        self.servpods.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhythm_workloads::apps;
+
+    #[test]
+    fn one_machine_per_component() {
+        let d = Deployment::new(apps::ecommerce(), MachineSpec::paper_testbed());
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.machines.len(), 4);
+        assert_eq!(d.servpods[3].name, "mysql");
+    }
+
+    #[test]
+    fn lc_reservations_match_components() {
+        let d = Deployment::new(apps::ecommerce(), MachineSpec::paper_testbed());
+        for (m, node) in d.machines.iter().zip(&d.service.nodes) {
+            assert_eq!(m.lc_alloc().cores, node.component.cores);
+            assert_eq!(m.lc_alloc().mem_mb, node.component.mem_mb);
+            assert!(m.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn all_apps_deploy() {
+        for app in apps::all_apps() {
+            let d = Deployment::new(app, MachineSpec::paper_testbed());
+            assert!(!d.is_empty());
+        }
+    }
+}

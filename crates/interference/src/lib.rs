@@ -1,0 +1,19 @@
+//! Shared-resource interference model.
+//!
+//! The paper's §2 characterization shows that co-located BE jobs inflate
+//! an LC component's tail latency through four shared-resource channels —
+//! cores, LLC, DRAM bandwidth and the NIC — and that isolation mechanisms
+//! (cpuset pinning, Intel CAT, qdisc) attenuate but do not eliminate the
+//! interference. This crate turns a machine's current BE population into a
+//! [`Pressure`] vector and combines it with a component's
+//! [`rhythm_workloads::Sensitivity`] into a multiplicative service-time
+//! inflation.
+//!
+//! * [`pressure`] — machine-wide pressure aggregation from BE grants.
+//! * [`model`] — the calibrated [`InterferenceModel`].
+
+pub mod model;
+pub mod pressure;
+
+pub use model::InterferenceModel;
+pub use pressure::Pressure;

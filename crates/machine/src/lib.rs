@@ -1,0 +1,39 @@
+//! Physical machine model for the Rhythm reproduction.
+//!
+//! The paper's testbed is four quad-socket Intel Xeon E7-4820 v4 machines
+//! (40 cores, 20 MB L3 per socket, 64 GB DRAM per socket, 10 Gb NIC). The
+//! runtime controller never touches silicon directly — it actuates Linux
+//! and hardware *interfaces*: `cpuset` cgroups for core pinning, Intel CAT
+//! for LLC way partitioning, `qdisc` for network bandwidth, and DVFS/RAPL
+//! for frequency and power (paper §4, "Isolation"). This crate models those
+//! interfaces with the same units and granularities, so the controller code
+//! is written exactly as it would be against real hardware.
+//!
+//! * [`spec`] — machine capacities ([`MachineSpec`], defaults to the
+//!   paper's testbed machine).
+//! * [`alloc`] — a resource grant ([`Allocation`]) for one job.
+//! * [`cpuset`] — core-pinning sets.
+//! * [`cat`] — LLC way-bitmap partitioning (Intel CAT).
+//! * [`dvfs`] — per-domain frequency scaling.
+//! * [`power`] — RAPL-style socket power model with a TDP cap.
+//! * [`qdisc`] — network bandwidth shaping.
+//! * [`machine`] — the assembled [`Machine`] with LC/BE resource
+//!   accounting and capacity invariants.
+
+pub mod alloc;
+pub mod cat;
+pub mod cpuset;
+pub mod dvfs;
+pub mod machine;
+pub mod power;
+pub mod qdisc;
+pub mod spec;
+
+pub use alloc::Allocation;
+pub use cat::CatPartition;
+pub use cpuset::CpuSet;
+pub use dvfs::DvfsDomain;
+pub use machine::{Machine, MachineError};
+pub use power::PowerModel;
+pub use qdisc::Qdisc;
+pub use spec::MachineSpec;

@@ -1,0 +1,721 @@
+//! The assembled machine: LC + BE resource accounting with invariants.
+//!
+//! One [`Machine`] hosts exactly one LC Servpod (the paper deploys one
+//! Servpod per physical machine, §3.1) plus any number of BE job
+//! instances. The four subcontrollers manipulate BE instances through this
+//! type; it enforces that grants never exceed capacity and that suspended
+//! BE jobs keep their memory but release cores and cache (paper §3.5.2,
+//! SuspendBE "pauses all of the running BE jobs, but they can still keep
+//! their memory space").
+
+use crate::alloc::Allocation;
+use crate::cat::CatPartition;
+use crate::cpuset::CpuSet;
+use crate::dvfs::DvfsDomain;
+use crate::power::PowerModel;
+use crate::qdisc::Qdisc;
+use crate::spec::MachineSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of one BE instance on one machine.
+pub type BeInstanceId = u64;
+
+/// Run state of a BE instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BeState {
+    /// Scheduled on cores and making progress.
+    Running,
+    /// Paused: keeps memory, holds no cores/LLC/network.
+    Suspended,
+}
+
+/// One BE job instance and its current grant.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BeInstance {
+    /// Stable id on this machine.
+    pub id: BeInstanceId,
+    /// Name of the BE workload (e.g. "wordcount").
+    pub workload: String,
+    /// Current resource grant. When suspended, `cores`/`llc_ways`/
+    /// `net_mbps` are zero but `mem_mb` is retained.
+    pub alloc: Allocation,
+    /// Cores the instance is pinned to (empty while suspended).
+    pub cpuset: CpuSet,
+    /// Run state.
+    pub state: BeState,
+    /// Grant held before suspension, restored on resume.
+    saved: Option<Allocation>,
+}
+
+/// Errors from machine resource operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// Not enough free cores/LLC/memory/network for the request.
+    Insufficient(String),
+    /// Unknown BE instance id.
+    NoSuchInstance(BeInstanceId),
+    /// Operation invalid in the instance's current state.
+    BadState(BeInstanceId, BeState),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Insufficient(what) => write!(f, "insufficient resources: {what}"),
+            MachineError::NoSuchInstance(id) => write!(f, "no BE instance {id}"),
+            MachineError::BadState(id, s) => write!(f, "BE instance {id} in state {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// One physical machine hosting an LC Servpod and BE instances.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    spec: MachineSpec,
+    /// Resources reserved for the LC Servpod.
+    lc_alloc: Allocation,
+    /// Cores pinned to the LC Servpod.
+    lc_cpuset: CpuSet,
+    /// Cores not owned by LC or any BE instance.
+    free_cores: CpuSet,
+    /// LLC partition between LC and BE classes.
+    cat: CatPartition,
+    /// Frequency domain of the LC cores.
+    pub lc_dvfs: DvfsDomain,
+    /// Frequency domain of the BE cores.
+    pub be_dvfs: DvfsDomain,
+    /// Network shaper.
+    pub qdisc: Qdisc,
+    /// Power model.
+    pub power: PowerModel,
+    /// Live BE instances by id.
+    bes: BTreeMap<BeInstanceId, BeInstance>,
+    next_be_id: BeInstanceId,
+    /// Cumulative counters for reporting.
+    pub be_started: u64,
+    pub be_killed: u64,
+}
+
+impl Machine {
+    /// Creates a machine and reserves `lc_alloc` for its LC Servpod.
+    ///
+    /// The LC cores are pinned from core 0 upward; the LLC starts fully
+    /// owned by the LC class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LC reservation alone exceeds the machine or the spec
+    /// is invalid.
+    pub fn new(spec: MachineSpec, lc_alloc: Allocation) -> Self {
+        spec.validate().expect("invalid machine spec");
+        assert!(
+            lc_alloc.cores <= spec.total_cores(),
+            "LC reservation exceeds core count"
+        );
+        assert!(
+            lc_alloc.mem_mb <= spec.total_mem_mb(),
+            "LC reservation exceeds memory"
+        );
+        let mut all = CpuSet::range(0, spec.total_cores());
+        let lc_cpuset = all
+            .take_lowest(lc_alloc.cores)
+            .expect("LC cores fit by the assertion above");
+        Machine {
+            lc_alloc,
+            lc_cpuset,
+            free_cores: all,
+            cat: CatPartition::all_lc(spec.total_llc_ways()),
+            lc_dvfs: DvfsDomain::from_spec(&spec),
+            be_dvfs: DvfsDomain::from_spec(&spec),
+            qdisc: Qdisc::new(spec.nic_mbps),
+            power: PowerModel::from_spec(&spec),
+            bes: BTreeMap::new(),
+            next_be_id: 0,
+            be_started: 0,
+            be_killed: 0,
+            spec,
+        }
+    }
+
+    /// The machine's static capacities.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The LC Servpod's reservation.
+    pub fn lc_alloc(&self) -> Allocation {
+        self.lc_alloc
+    }
+
+    /// Cores pinned to the LC Servpod.
+    pub fn lc_cpuset(&self) -> CpuSet {
+        self.lc_cpuset
+    }
+
+    /// The LLC partition.
+    pub fn cat(&self) -> &CatPartition {
+        &self.cat
+    }
+
+    /// Number of cores owned by neither LC nor any BE instance.
+    pub fn free_core_count(&self) -> u32 {
+        self.free_cores.count()
+    }
+
+    /// Free memory in MB.
+    pub fn free_mem_mb(&self) -> u64 {
+        let used: u64 = self.lc_alloc.mem_mb + self.bes.values().map(|b| b.alloc.mem_mb).sum::<u64>();
+        self.spec.total_mem_mb().saturating_sub(used)
+    }
+
+    /// Sum of BE grants (suspended instances contribute only memory).
+    pub fn be_total_alloc(&self) -> Allocation {
+        self.bes
+            .values()
+            .fold(Allocation::none(), |acc, b| acc + b.alloc)
+    }
+
+    /// Live BE instances.
+    pub fn be_instances(&self) -> impl Iterator<Item = &BeInstance> {
+        self.bes.values()
+    }
+
+    /// Number of live (running or suspended) BE instances.
+    pub fn be_count(&self) -> usize {
+        self.bes.len()
+    }
+
+    /// Number of running BE instances.
+    pub fn running_be_count(&self) -> usize {
+        self.bes
+            .values()
+            .filter(|b| b.state == BeState::Running)
+            .count()
+    }
+
+    /// Admits a new BE instance with the requested grant.
+    ///
+    /// Fails without side effects if any dimension is unavailable.
+    pub fn admit_be(&mut self, workload: &str, req: Allocation) -> Result<BeInstanceId, MachineError> {
+        if self.free_cores.count() < req.cores {
+            return Err(MachineError::Insufficient(format!(
+                "cores: need {}, free {}",
+                req.cores,
+                self.free_cores.count()
+            )));
+        }
+        if self.free_mem_mb() < req.mem_mb {
+            return Err(MachineError::Insufficient(format!(
+                "memory: need {} MB, free {} MB",
+                req.mem_mb,
+                self.free_mem_mb()
+            )));
+        }
+        // Grow the BE cache class by the requested ways.
+        let mut cat = self.cat;
+        if req.llc_ways > 0 && cat.grow_be(req.llc_ways).is_err() {
+            return Err(MachineError::Insufficient(format!(
+                "LLC ways: need {}, LC holds {}",
+                req.llc_ways,
+                self.cat.lc_ways()
+            )));
+        }
+        let cpuset = self
+            .free_cores
+            .take_lowest(req.cores)
+            .expect("checked above");
+        self.cat = cat;
+        let id = self.next_be_id;
+        self.next_be_id += 1;
+        self.bes.insert(
+            id,
+            BeInstance {
+                id,
+                workload: workload.to_string(),
+                alloc: req,
+                cpuset,
+                state: BeState::Running,
+                saved: None,
+            },
+        );
+        self.be_started += 1;
+        debug_assert!(self.check_invariants().is_ok());
+        Ok(id)
+    }
+
+    /// Grows a running BE instance by `delta` cores/ways/memory.
+    pub fn grow_be(&mut self, id: BeInstanceId, delta: Allocation) -> Result<(), MachineError> {
+        let free_mem = self.free_mem_mb();
+        let free_core_count = self.free_cores.count();
+        let inst = self
+            .bes
+            .get(&id)
+            .ok_or(MachineError::NoSuchInstance(id))?;
+        if inst.state != BeState::Running {
+            return Err(MachineError::BadState(id, inst.state));
+        }
+        if free_core_count < delta.cores {
+            return Err(MachineError::Insufficient("cores".into()));
+        }
+        if free_mem < delta.mem_mb {
+            return Err(MachineError::Insufficient("memory".into()));
+        }
+        let mut cat = self.cat;
+        if delta.llc_ways > 0 && cat.grow_be(delta.llc_ways).is_err() {
+            return Err(MachineError::Insufficient("LLC ways".into()));
+        }
+        let extra = self
+            .free_cores
+            .take_lowest(delta.cores)
+            .expect("checked above");
+        self.cat = cat;
+        let inst = self.bes.get_mut(&id).expect("looked up above");
+        inst.cpuset = inst.cpuset.union(&extra);
+        inst.alloc += delta;
+        debug_assert!(self.check_invariants().is_ok());
+        Ok(())
+    }
+
+    /// Cuts `delta` from a running BE instance (saturating per dimension).
+    /// Returns what was actually reclaimed.
+    pub fn cut_be(&mut self, id: BeInstanceId, delta: Allocation) -> Result<Allocation, MachineError> {
+        let inst = self
+            .bes
+            .get_mut(&id)
+            .ok_or(MachineError::NoSuchInstance(id))?;
+        if inst.state != BeState::Running {
+            return Err(MachineError::BadState(id, inst.state));
+        }
+        let cut_cores = delta.cores.min(inst.alloc.cores);
+        let cut_ways = delta.llc_ways.min(inst.alloc.llc_ways);
+        let cut_mem = delta.mem_mb.min(inst.alloc.mem_mb);
+        let mut freed_cores = CpuSet::empty();
+        let mut remaining = cut_cores;
+        let ids: Vec<u32> = inst.cpuset.iter().collect();
+        // Release highest-numbered cores first so LC-adjacent low cores
+        // stay stable.
+        for &cid in ids.iter().rev() {
+            if remaining == 0 {
+                break;
+            }
+            freed_cores.insert(cid);
+            remaining -= 1;
+        }
+        inst.cpuset = inst.cpuset.difference(&freed_cores);
+        inst.alloc.cores -= cut_cores;
+        inst.alloc.llc_ways -= cut_ways;
+        inst.alloc.mem_mb -= cut_mem;
+        self.free_cores = self.free_cores.union(&freed_cores);
+        self.cat.shrink_be(cut_ways);
+        debug_assert!(self.check_invariants().is_ok());
+        Ok(Allocation {
+            cores: cut_cores,
+            llc_ways: cut_ways,
+            mem_mb: cut_mem,
+            net_mbps: 0.0,
+            freq_mhz: 0,
+        })
+    }
+
+    /// Suspends a running BE instance: cores, LLC and network are released;
+    /// memory is kept.
+    pub fn suspend_be(&mut self, id: BeInstanceId) -> Result<(), MachineError> {
+        let inst = self
+            .bes
+            .get_mut(&id)
+            .ok_or(MachineError::NoSuchInstance(id))?;
+        if inst.state != BeState::Running {
+            return Ok(()); // Already suspended: idempotent.
+        }
+        inst.saved = Some(inst.alloc);
+        self.free_cores = self.free_cores.union(&inst.cpuset);
+        self.cat.shrink_be(inst.alloc.llc_ways);
+        inst.cpuset = CpuSet::empty();
+        inst.alloc = Allocation {
+            cores: 0,
+            llc_ways: 0,
+            mem_mb: inst.alloc.mem_mb,
+            net_mbps: 0.0,
+            freq_mhz: inst.alloc.freq_mhz,
+        };
+        inst.state = BeState::Suspended;
+        debug_assert!(self.check_invariants().is_ok());
+        Ok(())
+    }
+
+    /// Suspends every running BE instance.
+    pub fn suspend_all_be(&mut self) {
+        let ids: Vec<BeInstanceId> = self.bes.keys().copied().collect();
+        for id in ids {
+            let _ = self.suspend_be(id);
+        }
+    }
+
+    /// Resumes a suspended instance with as much of its saved grant as
+    /// currently fits (cores/ways may have been given away meanwhile).
+    /// Returns the grant it came back with.
+    pub fn resume_be(&mut self, id: BeInstanceId) -> Result<Allocation, MachineError> {
+        let free_core_count = self.free_cores.count();
+        let inst = self
+            .bes
+            .get(&id)
+            .ok_or(MachineError::NoSuchInstance(id))?;
+        if inst.state != BeState::Suspended {
+            return Err(MachineError::BadState(id, inst.state));
+        }
+        let saved = inst.saved.unwrap_or(inst.alloc);
+        let cores = saved.cores.min(free_core_count);
+        let mut cat = self.cat;
+        let mut ways = 0;
+        for _ in 0..saved.llc_ways {
+            if cat.grow_be(1).is_ok() {
+                ways += 1;
+            } else {
+                break;
+            }
+        }
+        let cpuset = self
+            .free_cores
+            .take_lowest(cores)
+            .expect("bounded by free count");
+        self.cat = cat;
+        let inst = self.bes.get_mut(&id).expect("looked up above");
+        inst.cpuset = cpuset;
+        inst.alloc = Allocation {
+            cores,
+            llc_ways: ways,
+            mem_mb: inst.alloc.mem_mb,
+            net_mbps: saved.net_mbps,
+            freq_mhz: saved.freq_mhz,
+        };
+        inst.state = BeState::Running;
+        inst.saved = None;
+        let granted = inst.alloc;
+        debug_assert!(self.check_invariants().is_ok());
+        Ok(granted)
+    }
+
+    /// Resumes every suspended BE instance (best effort).
+    pub fn resume_all_be(&mut self) {
+        let ids: Vec<BeInstanceId> = self.bes.keys().copied().collect();
+        for id in ids {
+            let _ = self.resume_be(id);
+        }
+    }
+
+    /// Kills one BE instance, releasing all of its resources.
+    pub fn kill_be(&mut self, id: BeInstanceId) -> Result<(), MachineError> {
+        let inst = self
+            .bes
+            .remove(&id)
+            .ok_or(MachineError::NoSuchInstance(id))?;
+        self.free_cores = self.free_cores.union(&inst.cpuset);
+        self.cat.shrink_be(inst.alloc.llc_ways);
+        self.be_killed += 1;
+        debug_assert!(self.check_invariants().is_ok());
+        Ok(())
+    }
+
+    /// Kills every BE instance (StopBE).
+    pub fn kill_all_be(&mut self) {
+        let ids: Vec<BeInstanceId> = self.bes.keys().copied().collect();
+        for id in ids {
+            let _ = self.kill_be(id);
+        }
+    }
+
+    /// Checks all resource-accounting invariants; returns a description of
+    /// the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let be_cores: u32 = self.bes.values().map(|b| b.alloc.cores).sum();
+        if self.lc_alloc.cores + be_cores + self.free_cores.count() != self.spec.total_cores() {
+            return Err(format!(
+                "core accounting: lc={} be={} free={} total={}",
+                self.lc_alloc.cores,
+                be_cores,
+                self.free_cores.count(),
+                self.spec.total_cores()
+            ));
+        }
+        if !self.cat.is_consistent() {
+            return Err("CAT partition inconsistent".into());
+        }
+        let be_ways: u32 = self.bes.values().map(|b| b.alloc.llc_ways).sum();
+        if be_ways != self.cat.be_ways() {
+            return Err(format!(
+                "LLC accounting: instances hold {} ways, CAT says {}",
+                be_ways,
+                self.cat.be_ways()
+            ));
+        }
+        let mem: u64 = self.lc_alloc.mem_mb + self.bes.values().map(|b| b.alloc.mem_mb).sum::<u64>();
+        if mem > self.spec.total_mem_mb() {
+            return Err(format!(
+                "memory over-commit: {} > {}",
+                mem,
+                self.spec.total_mem_mb()
+            ));
+        }
+        for inst in self.bes.values() {
+            if inst.cpuset.count() != inst.alloc.cores {
+                return Err(format!(
+                    "instance {} cpuset/grant mismatch: {} vs {}",
+                    inst.id,
+                    inst.cpuset.count(),
+                    inst.alloc.cores
+                ));
+            }
+            if !inst.cpuset.is_disjoint(&self.lc_cpuset) {
+                return Err(format!("instance {} overlaps LC cores", inst.id));
+            }
+            if !inst.cpuset.is_disjoint(&self.free_cores) {
+                return Err(format!("instance {} overlaps free cores", inst.id));
+            }
+            if inst.state == BeState::Suspended && inst.alloc.cores != 0 {
+                return Err(format!("suspended instance {} holds cores", inst.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        let lc = Allocation {
+            cores: 16,
+            llc_ways: 0,
+            mem_mb: 64 * 1024,
+            net_mbps: 2_000.0,
+            freq_mhz: 2_000,
+        };
+        Machine::new(MachineSpec::paper_testbed(), lc)
+    }
+
+    fn be_req() -> Allocation {
+        // The paper's initial BE grant: 1 core, 10% LLC (2 ways of 20 per
+        // socket scaled to the 80-way machine = 8), 2 GB memory.
+        Allocation {
+            cores: 1,
+            llc_ways: 8,
+            mem_mb: 2 * 1024,
+            net_mbps: 0.0,
+            freq_mhz: 2_000,
+        }
+    }
+
+    #[test]
+    fn new_machine_reserves_lc() {
+        let m = machine();
+        assert_eq!(m.lc_cpuset().count(), 16);
+        assert_eq!(m.free_core_count(), 24);
+        assert_eq!(m.cat().lc_ways(), 80);
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn admit_be_takes_resources() {
+        let mut m = machine();
+        let id = m.admit_be("wordcount", be_req()).unwrap();
+        assert_eq!(m.free_core_count(), 23);
+        assert_eq!(m.cat().be_ways(), 8);
+        assert_eq!(m.be_count(), 1);
+        assert_eq!(m.running_be_count(), 1);
+        assert_eq!(m.be_started, 1);
+        let inst = m.be_instances().next().unwrap();
+        assert_eq!(inst.id, id);
+        assert!(inst.cpuset.is_disjoint(&m.lc_cpuset()));
+    }
+
+    #[test]
+    fn admit_fails_when_out_of_cores() {
+        let mut m = machine();
+        let mut req = be_req();
+        req.cores = 25;
+        req.llc_ways = 0;
+        assert!(matches!(
+            m.admit_be("x", req),
+            Err(MachineError::Insufficient(_))
+        ));
+        assert_eq!(m.be_count(), 0);
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn admit_fails_when_out_of_memory() {
+        let mut m = machine();
+        let mut req = be_req();
+        req.mem_mb = 300 * 1024;
+        assert!(m.admit_be("x", req).is_err());
+    }
+
+    #[test]
+    fn grow_and_cut() {
+        let mut m = machine();
+        let id = m.admit_be("wc", be_req()).unwrap();
+        m.grow_be(id, Allocation::cores_and_llc(1, 8)).unwrap();
+        let inst = m.be_instances().next().unwrap();
+        assert_eq!(inst.alloc.cores, 2);
+        assert_eq!(inst.alloc.llc_ways, 16);
+
+        let got = m.cut_be(id, Allocation::cores_and_llc(1, 8)).unwrap();
+        assert_eq!(got.cores, 1);
+        let inst = m.be_instances().next().unwrap();
+        assert_eq!(inst.alloc.cores, 1);
+        assert_eq!(m.cat().be_ways(), 8);
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn cut_saturates() {
+        let mut m = machine();
+        let id = m.admit_be("wc", be_req()).unwrap();
+        let got = m.cut_be(id, Allocation::cores_and_llc(99, 99)).unwrap();
+        assert_eq!(got.cores, 1);
+        assert_eq!(got.llc_ways, 8);
+        let inst = m.be_instances().next().unwrap();
+        assert_eq!(inst.alloc.cores, 0);
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn suspend_keeps_memory_releases_cores() {
+        let mut m = machine();
+        let id = m.admit_be("wc", be_req()).unwrap();
+        let free_before = m.free_core_count();
+        m.suspend_be(id).unwrap();
+        assert_eq!(m.free_core_count(), free_before + 1);
+        assert_eq!(m.cat().be_ways(), 0);
+        let inst = m.be_instances().next().unwrap();
+        assert_eq!(inst.state, BeState::Suspended);
+        assert_eq!(inst.alloc.mem_mb, 2 * 1024, "memory retained");
+        assert_eq!(inst.alloc.cores, 0);
+        // Idempotent.
+        m.suspend_be(id).unwrap();
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn resume_restores_saved_grant() {
+        let mut m = machine();
+        let id = m.admit_be("wc", be_req()).unwrap();
+        m.suspend_be(id).unwrap();
+        let back = m.resume_be(id).unwrap();
+        assert_eq!(back.cores, 1);
+        assert_eq!(back.llc_ways, 8);
+        assert_eq!(m.running_be_count(), 1);
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn resume_running_is_error() {
+        let mut m = machine();
+        let id = m.admit_be("wc", be_req()).unwrap();
+        assert!(matches!(
+            m.resume_be(id),
+            Err(MachineError::BadState(_, BeState::Running))
+        ));
+    }
+
+    #[test]
+    fn kill_releases_everything() {
+        let mut m = machine();
+        let id = m.admit_be("wc", be_req()).unwrap();
+        m.kill_be(id).unwrap();
+        assert_eq!(m.be_count(), 0);
+        assert_eq!(m.free_core_count(), 24);
+        assert_eq!(m.cat().be_ways(), 0);
+        assert_eq!(m.be_killed, 1);
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn kill_all_be() {
+        let mut m = machine();
+        for _ in 0..5 {
+            m.admit_be("wc", be_req()).unwrap();
+        }
+        m.kill_all_be();
+        assert_eq!(m.be_count(), 0);
+        assert_eq!(m.free_core_count(), 24);
+        assert_eq!(m.be_killed, 5);
+    }
+
+    #[test]
+    fn suspend_all_and_resume_all() {
+        let mut m = machine();
+        for _ in 0..3 {
+            m.admit_be("wc", be_req()).unwrap();
+        }
+        m.suspend_all_be();
+        assert_eq!(m.running_be_count(), 0);
+        assert_eq!(m.be_count(), 3);
+        m.resume_all_be();
+        assert_eq!(m.running_be_count(), 3);
+        assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn grow_suspended_is_error() {
+        let mut m = machine();
+        let id = m.admit_be("wc", be_req()).unwrap();
+        m.suspend_be(id).unwrap();
+        assert!(matches!(
+            m.grow_be(id, Allocation::cores_and_llc(1, 0)),
+            Err(MachineError::BadState(..))
+        ));
+    }
+
+    #[test]
+    fn unknown_instance_errors() {
+        let mut m = machine();
+        assert!(matches!(m.kill_be(42), Err(MachineError::NoSuchInstance(42))));
+        assert!(matches!(
+            m.cut_be(42, Allocation::none()),
+            Err(MachineError::NoSuchInstance(42))
+        ));
+    }
+
+    #[test]
+    fn be_total_alloc_sums() {
+        let mut m = machine();
+        m.admit_be("a", be_req()).unwrap();
+        m.admit_be("b", be_req()).unwrap();
+        let total = m.be_total_alloc();
+        assert_eq!(total.cores, 2);
+        assert_eq!(total.llc_ways, 16);
+        assert_eq!(total.mem_mb, 4 * 1024);
+    }
+
+    #[test]
+    fn free_mem_accounts_lc_and_be() {
+        let mut m = machine();
+        let total = m.spec().total_mem_mb();
+        assert_eq!(m.free_mem_mb(), total - 64 * 1024);
+        m.admit_be("a", be_req()).unwrap();
+        assert_eq!(m.free_mem_mb(), total - 64 * 1024 - 2 * 1024);
+    }
+
+    #[test]
+    fn many_admissions_until_exhaustion() {
+        let mut m = machine();
+        let mut admitted = 0;
+        loop {
+            let mut req = be_req();
+            req.llc_ways = 2;
+            match m.admit_be("x", req) {
+                Ok(_) => admitted += 1,
+                Err(_) => break,
+            }
+        }
+        // 24 free cores but only 79 grantable ways / 2 -> cores bind first.
+        assert_eq!(admitted, 24);
+        assert!(m.check_invariants().is_ok());
+    }
+}

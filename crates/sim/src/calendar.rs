@@ -1,0 +1,215 @@
+//! Deterministic event calendar.
+//!
+//! A thin priority queue keyed by [`SimTime`] with a monotone sequence
+//! number as tiebreaker, so that events scheduled for the same instant pop
+//! in insertion (FIFO) order. That stability is what makes whole-cluster
+//! simulations bit-reproducible across runs and platforms.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the calendar: an event payload due at `at`.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event calendar.
+///
+/// # Examples
+///
+/// ```
+/// use rhythm_sim::{Calendar, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime::from_millis(5), "b");
+/// cal.schedule(SimTime::from_millis(1), "a");
+/// cal.schedule(SimTime::from_millis(5), "c");
+/// assert_eq!(cal.pop(), Some((SimTime::from_millis(1), "a")));
+/// assert_eq!(cal.pop(), Some((SimTime::from_millis(5), "b")));
+/// assert_eq!(cal.pop(), Some((SimTime::from_millis(5), "c")));
+/// assert_eq!(cal.pop(), None);
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar at time zero.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an empty calendar with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Calendar {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the "current" virtual
+    /// time).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller; the calendar
+    /// clamps such events to `now` so time never moves backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing `now` to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "calendar time moved backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event (the current time is retained).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_millis(30), 3);
+        cal.schedule(SimTime::from_millis(10), 1);
+        cal.schedule(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            cal.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(5), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(10), "late");
+        cal.pop();
+        // Scheduling before `now` must not rewind time.
+        cal.schedule(SimTime::from_secs(1), "early");
+        let (t, e) = cal.pop().unwrap();
+        assert_eq!(e, "early");
+        assert_eq!(t, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_millis(7), ());
+        assert_eq!(cal.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(cal.now(), SimTime::ZERO);
+        assert_eq!(cal.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_millis(1), 1u32);
+        let (t1, _) = cal.pop().unwrap();
+        cal.schedule(t1 + SimDuration::from_millis(1), 2u32);
+        cal.schedule(t1 + SimDuration::from_micros(500), 3u32);
+        assert_eq!(cal.pop().unwrap().1, 3);
+        assert_eq!(cal.pop().unwrap().1, 2);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_time() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(2), ());
+        cal.pop();
+        cal.schedule(SimTime::from_secs(9), ());
+        cal.clear();
+        assert!(cal.is_empty());
+        assert_eq!(cal.now(), SimTime::from_secs(2));
+    }
+}

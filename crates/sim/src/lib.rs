@@ -1,0 +1,40 @@
+//! Deterministic discrete-event simulation substrate for the Rhythm
+//! reproduction.
+//!
+//! The paper evaluates Rhythm on a four-machine cluster; this crate provides
+//! the virtual-time machinery that replaces wall-clock cluster time:
+//!
+//! * [`time`] — nanosecond-resolution virtual time ([`SimTime`],
+//!   [`SimDuration`]).
+//! * [`calendar`] — a deterministic event calendar ([`Calendar`]) with
+//!   stable FIFO ordering among simultaneous events.
+//! * [`rng`] — seedable, splittable random-number streams ([`SimRng`]).
+//! * [`dist`] — the sampling distributions used by the workload models
+//!   (exponential, log-normal, gamma, Pareto, ...).
+//! * [`stats`] — streaming statistics (Welford mean/variance, Pearson
+//!   correlation, coefficient of variation) used by the contribution
+//!   analyzer (paper §3.4).
+//! * [`hist`] — a log-bucketed latency histogram for percentile queries
+//!   (the 99th-percentile tail the SLA is defined over).
+//! * [`window`] — sliding-window tail-latency tracking for the runtime
+//!   controller (paper §3.5, Algorithm 2 reads the "current" tail).
+//!
+//! Everything in this crate is deterministic given a seed: two runs with the
+//! same seed produce bit-identical results, which the test suite and the
+//! figure-regeneration harness rely on.
+
+pub mod calendar;
+pub mod dist;
+pub mod hist;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod window;
+
+pub use calendar::Calendar;
+pub use dist::Dist;
+pub use hist::LatencyHistogram;
+pub use rng::SimRng;
+pub use stats::{pearson, OnlineStats};
+pub use time::{SimDuration, SimTime};
+pub use window::TailWindow;

@@ -1,0 +1,230 @@
+//! Seedable, splittable random-number streams.
+//!
+//! Every stochastic element of the simulation (arrival processes, service
+//! times, interference jitter, noise events) draws from its own [`SimRng`]
+//! stream derived from a single experiment seed. Splitting streams by label
+//! keeps components statistically independent *and* insulates each stream
+//! from changes elsewhere in the simulation: adding a draw to one component
+//! does not perturb any other component's sequence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random stream.
+///
+/// Internally a [`StdRng`] seeded via SplitMix64 expansion of a
+/// `(seed, label)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use rand::RngCore;
+/// use rhythm_sim::SimRng;
+///
+/// let mut a = SimRng::from_seed(42);
+/// let mut b = SimRng::from_seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let mut s1 = SimRng::from_seed(42).split("arrivals");
+/// let mut s2 = SimRng::from_seed(42).split("service");
+/// assert_ne!(s1.next_u64(), s2.next_u64());
+/// ```
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+/// SplitMix64 step: a high-quality 64-bit mixer used to derive stream seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label string, used to key split streams.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl SimRng {
+    /// Creates a stream from a bare 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+        }
+        SimRng {
+            seed,
+            inner: StdRng::from_seed(key),
+        }
+    }
+
+    /// Derives an independent child stream keyed by `label`.
+    ///
+    /// Children of the same parent with distinct labels are independent;
+    /// the same `(seed, label)` pair always yields the same stream.
+    pub fn split(&self, label: &str) -> SimRng {
+        SimRng::from_seed(self.seed ^ fnv1a(label).rotate_left(17))
+    }
+
+    /// Derives an independent child stream keyed by an index (e.g. a
+    /// machine or component id).
+    pub fn split_idx(&self, label: &str, idx: u64) -> SimRng {
+        SimRng::from_seed(self.seed ^ fnv1a(label).rotate_left(17) ^ splitmix64(&mut idx.clone()))
+    }
+
+    /// The seed this stream was constructed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "SimRng::below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// A standard normal sample (Marsaglia polar method).
+    pub fn standard_normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_independent() {
+        let root = SimRng::from_seed(99);
+        let mut x1 = root.split("arrivals");
+        let mut x2 = root.split("arrivals");
+        assert_eq!(x1.next_u64(), x2.next_u64());
+        let mut y = root.split("service");
+        let mut x = root.split("arrivals");
+        assert_ne!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn split_idx_distinguishes_indices() {
+        let root = SimRng::from_seed(5);
+        let mut a = root.split_idx("machine", 0);
+        let mut b = root.split_idx("machine", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = SimRng::from_seed(3);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = SimRng::from_seed(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::from_seed(13);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::from_seed(17);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-5.0));
+        assert!(rng.chance(5.0));
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut rng = SimRng::from_seed(19);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+        assert_eq!(rng.below(1), 0);
+    }
+}

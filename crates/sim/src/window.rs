@@ -1,0 +1,184 @@
+//! Sliding-window tail-latency tracking.
+//!
+//! The top-level controller (paper §3.5.2, Algorithm 2) runs every 2
+//! seconds and compares the *current* tail latency against the SLA target.
+//! "Current" means over a recent window, not since the beginning of time —
+//! otherwise an early burst would poison the slack estimate forever. This
+//! module provides a ring of per-interval histograms whose union
+//! approximates the tail over the last `window` of virtual time.
+
+use crate::hist::LatencyHistogram;
+use crate::time::{SimDuration, SimTime};
+
+/// Tail latency over a sliding window of virtual time.
+///
+/// The window is divided into `slots` sub-intervals; each recorded sample
+/// lands in the slot of its timestamp, and expired slots are dropped as
+/// time advances. Quantile queries merge the live slots.
+///
+/// # Examples
+///
+/// ```
+/// use rhythm_sim::{SimDuration, SimTime, TailWindow};
+///
+/// let mut w = TailWindow::new(SimDuration::from_secs(10), 10);
+/// w.record(SimTime::from_secs(1), 5.0);
+/// w.record(SimTime::from_secs(2), 7.0);
+/// assert!(w.quantile(SimTime::from_secs(3), 0.99) >= 5.0);
+/// // 20 seconds later both samples have expired.
+/// assert_eq!(w.quantile(SimTime::from_secs(23), 0.99), 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TailWindow {
+    slot_len: SimDuration,
+    slots: Vec<Slot>,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    /// Index of the window slot this histogram currently holds
+    /// (`timestamp / slot_len`); `u64::MAX` marks an empty slot.
+    epoch: u64,
+    hist: LatencyHistogram,
+}
+
+impl TailWindow {
+    /// Creates a window of length `window` with `slots` sub-intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0` or `window` is zero.
+    pub fn new(window: SimDuration, slots: usize) -> Self {
+        assert!(slots > 0, "TailWindow needs at least one slot");
+        assert!(!window.is_zero(), "TailWindow window must be positive");
+        let slot_len = SimDuration::from_nanos((window.as_nanos() / slots as u64).max(1));
+        TailWindow {
+            slot_len,
+            slots: (0..slots)
+                .map(|_| Slot {
+                    epoch: u64::MAX,
+                    hist: LatencyHistogram::new(),
+                })
+                .collect(),
+        }
+    }
+
+    fn epoch_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() / self.slot_len.as_nanos()
+    }
+
+    /// Records a latency sample observed at time `at`.
+    pub fn record(&mut self, at: SimTime, latency_ms: f64) {
+        let epoch = self.epoch_of(at);
+        let idx = (epoch % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.epoch != epoch {
+            slot.hist.reset();
+            slot.epoch = epoch;
+        }
+        slot.hist.record(latency_ms);
+    }
+
+    /// The p-quantile over samples whose slots are still inside the window
+    /// ending at `now`. Returns 0 if the window is empty.
+    pub fn quantile(&self, now: SimTime, p: f64) -> f64 {
+        let mut merged = LatencyHistogram::new();
+        let current = self.epoch_of(now);
+        let live = self.slots.len() as u64;
+        for slot in &self.slots {
+            if slot.epoch != u64::MAX && current.saturating_sub(slot.epoch) < live {
+                merged.merge(&slot.hist);
+            }
+        }
+        merged.quantile(p)
+    }
+
+    /// Number of live samples in the window ending at `now`.
+    pub fn count(&self, now: SimTime) -> u64 {
+        let current = self.epoch_of(now);
+        let live = self.slots.len() as u64;
+        self.slots
+            .iter()
+            .filter(|s| s.epoch != u64::MAX && current.saturating_sub(s.epoch) < live)
+            .map(|s| s.hist.count())
+            .sum()
+    }
+
+    /// Drops all samples.
+    pub fn reset(&mut self) {
+        for slot in &mut self.slots {
+            slot.epoch = u64::MAX;
+            slot.hist.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn recent_samples_visible() {
+        let mut w = TailWindow::new(SimDuration::from_secs(10), 5);
+        w.record(secs(1), 10.0);
+        w.record(secs(2), 20.0);
+        w.record(secs(3), 30.0);
+        let q = w.quantile(secs(4), 1.0);
+        assert!((q - 30.0).abs() / 30.0 < 0.02, "q={q}");
+        assert_eq!(w.count(secs(4)), 3);
+    }
+
+    #[test]
+    fn old_samples_expire() {
+        let mut w = TailWindow::new(SimDuration::from_secs(10), 5);
+        w.record(secs(0), 100.0);
+        assert!(w.quantile(secs(5), 0.99) > 0.0);
+        assert_eq!(w.quantile(secs(30), 0.99), 0.0);
+        assert_eq!(w.count(secs(30)), 0);
+    }
+
+    #[test]
+    fn slot_reuse_overwrites_stale_epoch() {
+        let mut w = TailWindow::new(SimDuration::from_secs(10), 5);
+        w.record(secs(1), 5.0);
+        // 10+ window lengths later, same ring index, different epoch.
+        w.record(secs(101), 50.0);
+        let q = w.quantile(secs(102), 1.0);
+        assert!((q - 50.0).abs() / 50.0 < 0.02, "q={q}");
+        assert_eq!(w.count(secs(102)), 1);
+    }
+
+    #[test]
+    fn rolling_window_tracks_shift() {
+        let mut w = TailWindow::new(SimDuration::from_secs(4), 4);
+        for t in 0..4 {
+            w.record(secs(t), 1.0);
+        }
+        let low = w.quantile(secs(3), 0.99);
+        assert!(low < 2.0);
+        for t in 4..8 {
+            w.record(secs(t), 100.0);
+        }
+        let high = w.quantile(secs(8), 0.99);
+        assert!(high > 50.0, "high={high}");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut w = TailWindow::new(SimDuration::from_secs(10), 5);
+        w.record(secs(1), 5.0);
+        w.reset();
+        assert_eq!(w.count(secs(1)), 0);
+        assert_eq!(w.quantile(secs(1), 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        TailWindow::new(SimDuration::from_secs(1), 0);
+    }
+}

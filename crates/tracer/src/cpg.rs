@@ -1,0 +1,191 @@
+//! Causal path graph (CPG) construction (§3.3, Figure 4).
+//!
+//! The CPG is a directed graph whose vertices are the event sets of
+//! Servpods and whose edges are causal relations between events. At the
+//! Servpod granularity this collapses to: which pods exchange messages,
+//! in which direction, and how often — which is what the analyzer needs
+//! to know the service call paths.
+
+use crate::capture::is_lc_program;
+use crate::event::{EventKind, SysEvent};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Servpod-level causal path graph.
+#[derive(Clone, Debug, Default)]
+pub struct Cpg {
+    pods: BTreeSet<u32>,
+    /// Message edges `(from pod, to pod) -> count` (both call and reply
+    /// directions appear; replies are the reverse edges).
+    edges: BTreeMap<(u32, u32), u64>,
+    /// Pods that receive requests directly from the client.
+    entries: BTreeSet<u32>,
+}
+
+impl Cpg {
+    /// Builds the CPG from a captured event stream.
+    ///
+    /// Only LC-program events participate (the context-identifier filter);
+    /// each SEND between two pods contributes one edge occurrence.
+    pub fn from_events(events: &[SysEvent], client_ip: u32) -> Cpg {
+        let mut cpg = Cpg::default();
+        for e in events {
+            if !is_lc_program(e.ctx.program) {
+                continue;
+            }
+            let pod = e.ctx.host_ip.saturating_sub(1);
+            cpg.pods.insert(pod);
+            match e.kind {
+                EventKind::Recv if e.msg.sender_ip == client_ip => {
+                    cpg.entries.insert(pod);
+                }
+                EventKind::Send if e.msg.receiver_ip != client_ip && e.msg.receiver_ip >= 1 => {
+                    let dst = e.msg.receiver_ip - 1;
+                    if dst != pod {
+                        *cpg.edges.entry((pod, dst)).or_insert(0) += 1;
+                        cpg.pods.insert(dst);
+                    }
+                }
+                _ => {}
+            }
+        }
+        cpg
+    }
+
+    /// All pods observed in the trace.
+    pub fn pods(&self) -> Vec<u32> {
+        self.pods.iter().copied().collect()
+    }
+
+    /// Pods that receive requests directly from the client.
+    pub fn entry_pods(&self) -> Vec<u32> {
+        self.entries.iter().copied().collect()
+    }
+
+    /// How many messages flowed from `a` to `b`.
+    pub fn edge_count(&self, a: u32, b: u32) -> u64 {
+        self.edges.get(&(a, b)).copied().unwrap_or(0)
+    }
+
+    /// The *call* edges: `a → b` where the forward count is at least the
+    /// reverse count (calls always have matching replies, so forward and
+    /// reverse counts are equal; we emit each undirected pair once in
+    /// call direction, which is the direction out of an entry pod).
+    pub fn call_edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (&(a, b), &n) in &self.edges {
+            if a < b && n > 0 {
+                // Direction: the endpoint closer to an entry calls the
+                // other. With per-request forward edges equal to reverse
+                // edges, orient from the lexically smaller unless the
+                // larger is an entry.
+                if self.entries.contains(&b) && !self.entries.contains(&a) {
+                    out.push((b, a));
+                } else {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the graph in Graphviz dot format (for the tracing
+    /// example).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph cpg {\n");
+        for p in &self.pods {
+            let shape = if self.entries.contains(p) {
+                " [shape=doublecircle]"
+            } else {
+                ""
+            };
+            s.push_str(&format!("  pod{p}{shape};\n"));
+        }
+        for (&(a, b), &n) in &self.edges {
+            s.push_str(&format!("  pod{a} -> pod{b} [label=\"{n}\"];\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{chain_visit, CaptureConfig, EventCapture};
+    use rhythm_sim::SimTime;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn trace() -> Vec<SysEvent> {
+        let mut cap = EventCapture::new(
+            CaptureConfig {
+                noise_events_per_request: 10,
+                ..CaptureConfig::default()
+            },
+            1,
+        );
+        for t in [0u64, 50, 100] {
+            let req = chain_visit(
+                &[0, 1, 2],
+                &[
+                    vec![(ms(t), ms(t + 1)), (ms(t + 20), ms(t + 21))],
+                    vec![(ms(t + 1), ms(t + 5)), (ms(t + 15), ms(t + 20))],
+                    vec![(ms(t + 5), ms(t + 15))],
+                ],
+            );
+            cap.record_request(&req);
+        }
+        cap.finish()
+    }
+
+    #[test]
+    fn discovers_all_pods_and_entry() {
+        let cpg = Cpg::from_events(&trace(), 0);
+        assert_eq!(cpg.pods(), vec![0, 1, 2]);
+        assert_eq!(cpg.entry_pods(), vec![0]);
+    }
+
+    #[test]
+    fn edges_count_messages_both_directions() {
+        let cpg = Cpg::from_events(&trace(), 0);
+        // 3 requests: 3 calls 0→1, 3 replies 1→0, etc.
+        assert_eq!(cpg.edge_count(0, 1), 3);
+        assert_eq!(cpg.edge_count(1, 0), 3);
+        assert_eq!(cpg.edge_count(1, 2), 3);
+        assert_eq!(cpg.edge_count(2, 1), 3);
+        assert_eq!(cpg.edge_count(0, 2), 0, "no direct 0→2 messages");
+    }
+
+    #[test]
+    fn call_edges_follow_the_chain() {
+        let cpg = Cpg::from_events(&trace(), 0);
+        assert_eq!(cpg.call_edges(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn noise_does_not_add_pods() {
+        // Noise events use program ids < 1000 and random hosts; the
+        // filter must keep them out of the graph.
+        let cpg = Cpg::from_events(&trace(), 0);
+        assert!(cpg.pods().len() == 3);
+    }
+
+    #[test]
+    fn dot_output_mentions_pods_and_edges() {
+        let cpg = Cpg::from_events(&trace(), 0);
+        let dot = cpg.to_dot();
+        assert!(dot.contains("pod0"));
+        assert!(dot.contains("pod2"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("doublecircle"), "entry pod highlighted");
+    }
+
+    #[test]
+    fn empty_trace_empty_graph() {
+        let cpg = Cpg::from_events(&[], 0);
+        assert!(cpg.pods().is_empty());
+        assert!(cpg.call_edges().is_empty());
+    }
+}

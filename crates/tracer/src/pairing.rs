@@ -1,0 +1,367 @@
+//! Intra- and inter-Servpod causality pairing (§3.3).
+//!
+//! Processing the filtered event stream in timestamp order:
+//!
+//! * **IntraServpod causality** — a RECV happens-before a SEND sharing
+//!   the same context identifier. Each SEND is matched with the earliest
+//!   pending RECV of its context (FIFO, "with respect to their order of
+//!   occurrence"), closing one *residence segment* whose duration counts
+//!   toward the Servpod's sojourn.
+//! * **InterServpod causality** — a SEND happens-before the RECV with
+//!   the same message identifier on the neighbour Servpod. Request labels
+//!   propagate along these edges, so every segment is attributed to the
+//!   request that (FIFO-plausibly) caused it.
+//!
+//! Under non-blocking threads or persistent TCP connections the FIFO
+//! matching can attribute a segment to the wrong request — exactly the
+//! hazard the paper describes — but the *sum* (hence mean) of segment
+//! durations per Servpod is invariant under any such permutation, which
+//! is why the contribution analyzer consumes means (Equations 1-3).
+
+use crate::capture::is_lc_program;
+use crate::event::{ContextId, EventKind, MessageId, SysEvent};
+use rhythm_sim::SimTime;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Result of pairing one event trace.
+#[derive(Clone, Debug, Default)]
+pub struct PairingOutput {
+    /// Residence segments per Servpod: `(request label, duration ms)`.
+    pub segments: BTreeMap<u32, Vec<(u64, f64)>>,
+    /// Number of distinct requests observed entering the service.
+    pub request_count: u64,
+    /// SEND events with no pending RECV on their context (fan-out
+    /// siblings produce these by construction).
+    pub unmatched_sends: u64,
+    /// RECV events left pending at the end of the trace.
+    pub unmatched_recvs: u64,
+    /// Events dropped by the context-identifier noise filter.
+    pub filtered_noise: u64,
+}
+
+impl PairingOutput {
+    /// Servpods that produced at least one segment.
+    pub fn pods(&self) -> Vec<u32> {
+        self.segments.keys().copied().collect()
+    }
+
+    /// Per-request sojourn times at `pod` (sum of the request's segments
+    /// there), in request-label order. Requests that never visited the
+    /// pod are absent.
+    pub fn sojourns(&self, pod: u32) -> Vec<f64> {
+        let Some(segs) = self.segments.get(&pod) else {
+            return Vec::new();
+        };
+        let mut per_request: BTreeMap<u64, f64> = BTreeMap::new();
+        for &(label, ms) in segs {
+            *per_request.entry(label).or_insert(0.0) += ms;
+        }
+        per_request.into_values().collect()
+    }
+
+    /// Mean sojourn time at `pod` in ms (0 if the pod was never visited).
+    pub fn mean_sojourn(&self, pod: u32) -> f64 {
+        let s = self.sojourns(pod);
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<f64>() / s.len() as f64
+        }
+    }
+
+    /// Total residence time recorded at `pod` in ms.
+    pub fn total_residence(&self, pod: u32) -> f64 {
+        self.segments
+            .get(&pod)
+            .map(|v| v.iter().map(|&(_, ms)| ms).sum())
+            .unwrap_or(0.0)
+    }
+}
+
+/// A pending (unmatched) RECV on some context.
+struct PendingRecv {
+    at: SimTime,
+    label: u64,
+}
+
+/// The §3.3 pairing engine.
+pub struct Pairer {
+    client_ip: u32,
+}
+
+impl Pairer {
+    /// Creates a pairer; requests are recognized as *entering* the
+    /// service when their RECV's sender is `client_ip`.
+    pub fn new(client_ip: u32) -> Self {
+        Pairer { client_ip }
+    }
+
+    /// Pairs a timestamp-sorted event trace into per-Servpod, per-request
+    /// residence segments.
+    pub fn pair(&self, events: &[SysEvent]) -> PairingOutput {
+        let mut out = PairingOutput::default();
+        // FIFO of pending RECVs per context (intra-Servpod causality).
+        let mut pending: HashMap<ContextId, VecDeque<PendingRecv>> = HashMap::new();
+        // FIFO of request labels per in-flight message identifier
+        // (inter-Servpod causality).
+        let mut in_flight: HashMap<MessageId, VecDeque<u64>> = HashMap::new();
+        let mut next_label = 0u64;
+
+        for e in events {
+            if !is_lc_program(e.ctx.program) {
+                out.filtered_noise += 1;
+                continue;
+            }
+            match e.kind {
+                EventKind::Accept | EventKind::Close => {
+                    // Request boundaries; labels are assigned at the entry
+                    // RECV which carries the client message identifier.
+                }
+                EventKind::Recv => {
+                    let label = if e.msg.sender_ip == self.client_ip {
+                        let l = next_label;
+                        next_label += 1;
+                        out.request_count += 1;
+                        l
+                    } else {
+                        // Inherit from the matching SEND (FIFO per
+                        // identifier: persistent connections share
+                        // identifiers, so this can mis-attribute).
+                        match in_flight.get_mut(&e.msg).and_then(|q| q.pop_front()) {
+                            Some(l) => l,
+                            None => {
+                                // A reply/message we never saw sent
+                                // (should not happen in a complete trace);
+                                // treat as a fresh anonymous label.
+                                let l = next_label;
+                                next_label += 1;
+                                l
+                            }
+                        }
+                    };
+                    pending.entry(e.ctx).or_default().push_back(PendingRecv {
+                        at: e.timestamp,
+                        label,
+                    });
+                }
+                EventKind::Send => {
+                    let popped = pending.get_mut(&e.ctx).and_then(|q| q.pop_front());
+                    match popped {
+                        Some(recv) => {
+                            let pod = e.ctx.host_ip.saturating_sub(1);
+                            let ms = e.timestamp.saturating_since(recv.at).as_millis_f64();
+                            out.segments
+                                .entry(pod)
+                                .or_default()
+                                .push((recv.label, ms));
+                            // Propagate the label to the receiving side.
+                            in_flight
+                                .entry(e.msg)
+                                .or_default()
+                                .push_back(recv.label);
+                        }
+                        None => {
+                            out.unmatched_sends += 1;
+                            // Still propagate *a* label so the downstream
+                            // RECV is not orphaned: use the most recent
+                            // label (fan-out siblings share the parent's
+                            // request).
+                            let label = next_label.saturating_sub(1);
+                            in_flight.entry(e.msg).or_default().push_back(label);
+                        }
+                    }
+                }
+            }
+        }
+        out.unmatched_recvs = pending.values().map(|q| q.len() as u64).sum();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{chain_visit, CaptureConfig, EventCapture, VisitNode};
+    use rhythm_sim::SimRng;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    /// A 3-pod chain request starting at `t0`, with per-pod work
+    /// (pre/post around the downstream call).
+    fn chain3(t0: u64) -> VisitNode {
+        chain_visit(
+            &[0, 1, 2],
+            &[
+                vec![(ms(t0), ms(t0 + 1)), (ms(t0 + 20), ms(t0 + 22))],
+                vec![(ms(t0 + 1), ms(t0 + 5)), (ms(t0 + 15), ms(t0 + 20))],
+                vec![(ms(t0 + 5), ms(t0 + 15))],
+            ],
+        )
+    }
+
+    fn capture(cfg: CaptureConfig, requests: &[VisitNode], seed: u64) -> Vec<SysEvent> {
+        let mut cap = EventCapture::new(cfg, seed);
+        for r in requests {
+            cap.record_request(r);
+        }
+        cap.finish()
+    }
+
+    #[test]
+    fn exact_sojourns_in_blocking_ephemeral_mode() {
+        let cfg = CaptureConfig {
+            noise_events_per_request: 0,
+            ..CaptureConfig::default()
+        };
+        let events = capture(cfg, &[chain3(0), chain3(100)], 1);
+        let out = Pairer::new(0).pair(&events);
+        assert_eq!(out.request_count, 2);
+        assert_eq!(out.unmatched_sends, 0);
+        assert_eq!(out.unmatched_recvs, 0);
+        assert_eq!(out.sojourns(0), vec![3.0, 3.0]);
+        assert_eq!(out.sojourns(1), vec![9.0, 9.0]);
+        assert_eq!(out.sojourns(2), vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn noise_is_filtered_not_paired() {
+        let cfg = CaptureConfig {
+            noise_events_per_request: 40,
+            ..CaptureConfig::default()
+        };
+        let events = capture(cfg, &[chain3(0)], 2);
+        let out = Pairer::new(0).pair(&events);
+        assert_eq!(out.filtered_noise, 40);
+        assert_eq!(out.sojourns(0), vec![3.0]);
+        assert_eq!(out.sojourns(1), vec![9.0]);
+    }
+
+    #[test]
+    fn mean_sojourn_invariant_under_non_blocking_interleave() {
+        // Two interleaved requests with *different* per-request sojourns
+        // on one non-blocking thread: request A has a short pod-1 visit,
+        // request B a long one, overlapping in time (Figure 5 scenario).
+        let req_a = chain_visit(
+            &[0, 1],
+            &[
+                vec![(ms(0), ms(1)), (ms(11), ms(12))],
+                vec![(ms(1), ms(11))],
+            ],
+        );
+        let req_b = chain_visit(
+            &[0, 1],
+            &[
+                vec![(ms(2), ms(3)), (ms(7), ms(8))],
+                vec![(ms(3), ms(7))],
+            ],
+        );
+        let cfg = CaptureConfig {
+            non_blocking: true,
+            noise_events_per_request: 0,
+            ..CaptureConfig::default()
+        };
+        let events = capture(cfg, &[req_a.clone(), req_b.clone()], 3);
+        let out = Pairer::new(0).pair(&events);
+        // Ground truth means.
+        let mut truth = std::collections::BTreeMap::new();
+        req_a.accumulate_sojourns(&mut truth);
+        req_b.accumulate_sojourns(&mut truth);
+        for (pod, sojourns) in truth {
+            let true_mean = sojourns.iter().sum::<f64>() / sojourns.len() as f64;
+            let got = out.mean_sojourn(pod);
+            assert!(
+                (got - true_mean).abs() < 1e-9,
+                "pod {pod}: mean {got} vs truth {true_mean} (the paper's §3.3 identity)"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_sojourn_invariant_under_persistent_connections() {
+        // Many overlapping requests on persistent connections: individual
+        // attribution may be wrong, mean must hold.
+        let mut requests = Vec::new();
+        let mut rng = SimRng::from_seed(99);
+        let mut t = 0u64;
+        for _ in 0..50 {
+            t += rng.below(4);
+            requests.push(chain3(t));
+        }
+        let cfg = CaptureConfig {
+            persistent_connections: true,
+            non_blocking: true,
+            noise_events_per_request: 0,
+            ..CaptureConfig::default()
+        };
+        let events = capture(cfg, &requests, 4);
+        let out = Pairer::new(0).pair(&events);
+        let mut truth = std::collections::BTreeMap::new();
+        for r in &requests {
+            r.accumulate_sojourns(&mut truth);
+        }
+        for (pod, sojourns) in truth {
+            let true_total: f64 = sojourns.iter().sum();
+            let got_total = out.total_residence(pod);
+            assert!(
+                (got_total - true_total).abs() < 1e-6,
+                "pod {pod}: total residence {got_total} vs truth {true_total}"
+            );
+        }
+        assert_eq!(out.request_count, 50);
+    }
+
+    #[test]
+    fn fan_out_produces_unmatched_sibling_sends() {
+        let fan = VisitNode {
+            pod: 0,
+            phases: vec![(ms(0), ms(1)), (ms(9), ms(10))],
+            children: vec![
+                VisitNode {
+                    pod: 1,
+                    phases: vec![(ms(1), ms(6))],
+                    children: vec![],
+                    parallel: false,
+                },
+                VisitNode {
+                    pod: 2,
+                    phases: vec![(ms(1), ms(9))],
+                    children: vec![],
+                    parallel: false,
+                },
+            ],
+            parallel: true,
+        };
+        let cfg = CaptureConfig {
+            noise_events_per_request: 0,
+            ..CaptureConfig::default()
+        };
+        let events = capture(cfg, &[fan], 5);
+        let out = Pairer::new(0).pair(&events);
+        // The second sibling SEND has no pending RECV: counted, not lost.
+        assert_eq!(out.unmatched_sends, 1);
+        // Leaf pods are still exact.
+        assert_eq!(out.sojourns(1), vec![5.0]);
+        assert_eq!(out.sojourns(2), vec![8.0]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let out = Pairer::new(0).pair(&[]);
+        assert_eq!(out.request_count, 0);
+        assert!(out.pods().is_empty());
+        assert_eq!(out.mean_sojourn(0), 0.0);
+    }
+
+    #[test]
+    fn sojourns_absent_pod_empty() {
+        let cfg = CaptureConfig {
+            noise_events_per_request: 0,
+            ..CaptureConfig::default()
+        };
+        let events = capture(cfg, &[chain3(0)], 6);
+        let out = Pairer::new(0).pair(&events);
+        assert!(out.sojourns(9).is_empty());
+    }
+}

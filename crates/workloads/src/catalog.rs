@@ -1,0 +1,185 @@
+//! The Table 1 workload inventory.
+//!
+//! This module renders the paper's Table 1 ("LC workloads and BE jobs")
+//! from the actual specs, so the `repro tab1` harness target prints the
+//! inventory the rest of the evaluation uses.
+
+use crate::apps;
+use crate::be::BeSpec;
+use crate::service::ServiceSpec;
+
+/// One LC row of Table 1.
+#[derive(Clone, Debug)]
+pub struct LcRow {
+    /// Workload name.
+    pub workload: String,
+    /// Application domain.
+    pub domain: &'static str,
+    /// Servpod (component) names.
+    pub servpods: Vec<String>,
+    /// Published maximum load (QPS).
+    pub maxload_qps: f64,
+    /// Published SLA (ms).
+    pub sla_ms: f64,
+    /// Container count.
+    pub containers: u32,
+}
+
+/// One BE row of Table 1.
+#[derive(Clone, Debug)]
+pub struct BeRow {
+    /// Workload name.
+    pub workload: String,
+    /// Application domain.
+    pub domain: &'static str,
+    /// Which resource the job is intensive on.
+    pub intensive: &'static str,
+}
+
+fn domain_of(service: &ServiceSpec) -> &'static str {
+    match service.name.as_str() {
+        "e-commerce" => "TPC-W website",
+        "redis" => "Key-value store",
+        "solr" => "Search",
+        "elasticsearch" => "Index Engine",
+        "elgg" => "Social Network",
+        "snms" => "Microservice",
+        _ => "unknown",
+    }
+}
+
+/// The LC half of Table 1.
+pub fn lc_rows() -> Vec<LcRow> {
+    apps::all_apps()
+        .into_iter()
+        .map(|s| LcRow {
+            domain: domain_of(&s),
+            servpods: s.component_names().iter().map(|n| n.to_string()).collect(),
+            workload: s.name,
+            maxload_qps: s.nominal_maxload_qps,
+            sla_ms: s.sla_ms,
+            containers: s.containers,
+        })
+        .collect()
+}
+
+/// The BE half of Table 1.
+pub fn be_rows() -> Vec<BeRow> {
+    use crate::be::BeKind;
+    let intensive = |k: &BeKind| match k {
+        BeKind::CpuStress => "CPU",
+        BeKind::StreamLlc { .. } => "LLC",
+        BeKind::StreamDram { .. } => "DRAM",
+        BeKind::Iperf => "Network",
+        BeKind::Wordcount | BeKind::ImageClassify | BeKind::Lstm => "mixed",
+    };
+    let domain = |k: &BeKind| match k {
+        BeKind::CpuStress => "CPU stress testing tool",
+        BeKind::StreamLlc { .. } => "LLC-benchmark in iBench",
+        BeKind::StreamDram { .. } => "DRAM-benchmark in iBench",
+        BeKind::Iperf => "Network stress testing tool",
+        BeKind::Wordcount => "Big data analytics",
+        BeKind::ImageClassify => "Image classification on CycleGAN",
+        BeKind::Lstm => "Deep learning on Tensorflow",
+    };
+    let mut rows: Vec<BeRow> = vec![
+        BeKind::CpuStress,
+        BeKind::StreamLlc { big: true },
+        BeKind::StreamDram { big: true },
+        BeKind::Iperf,
+        BeKind::Wordcount,
+        BeKind::ImageClassify,
+        BeKind::Lstm,
+    ]
+    .into_iter()
+    .map(|k| BeRow {
+        workload: BeSpec::of(k).name,
+        domain: domain(&k),
+        intensive: intensive(&k),
+    })
+    .collect();
+    rows.sort_by(|a, b| a.workload.cmp(&b.workload));
+    rows
+}
+
+/// Renders Table 1 as aligned text.
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str("LC Workloads\n");
+    out.push_str(&format!(
+        "{:<14} {:<22} {:<40} {:>12} {:>9} {:>11}\n",
+        "Workload", "Domain", "Servpods", "MaxLoad", "SLA", "Containers"
+    ));
+    for r in lc_rows() {
+        out.push_str(&format!(
+            "{:<14} {:<22} {:<40} {:>9} QPS {:>6} ms {:>11}\n",
+            r.workload,
+            r.domain,
+            r.servpods.join(","),
+            r.maxload_qps,
+            r.sla_ms,
+            r.containers
+        ));
+    }
+    out.push_str("\nBE Jobs\n");
+    out.push_str(&format!(
+        "{:<16} {:<36} {:<10}\n",
+        "Workload", "Domain", "-intensive"
+    ));
+    for r in be_rows() {
+        out.push_str(&format!(
+            "{:<16} {:<36} {:<10}\n",
+            r.workload, r.domain, r.intensive
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_lc_rows() {
+        let rows = lc_rows();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|r| r.workload == "e-commerce"));
+        assert!(rows.iter().any(|r| r.workload == "snms"));
+    }
+
+    #[test]
+    fn seven_be_rows() {
+        assert_eq!(be_rows().len(), 7);
+    }
+
+    #[test]
+    fn domains_follow_table1() {
+        let rows = lc_rows();
+        let ec = rows.iter().find(|r| r.workload == "e-commerce").unwrap();
+        assert_eq!(ec.domain, "TPC-W website");
+        assert_eq!(ec.servpods.len(), 4);
+        assert_eq!(ec.containers, 16);
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let t = render_table1();
+        for name in [
+            "e-commerce",
+            "redis",
+            "solr",
+            "elasticsearch",
+            "elgg",
+            "snms",
+            "CPU-stress",
+            "stream-llc",
+            "stream-dram",
+            "iperf",
+            "wordcount",
+            "imageClassify",
+            "LSTM",
+        ] {
+            assert!(t.contains(name), "table missing {name}");
+        }
+    }
+}

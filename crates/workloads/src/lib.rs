@@ -1,0 +1,35 @@
+//! Workload models for the Rhythm reproduction.
+//!
+//! The paper evaluates Rhythm on six latency-critical (LC) services and
+//! seven best-effort (BE) jobs (Table 1). Running the real applications
+//! needs a cluster, so this crate models each LC service as a queueing
+//! network over its published component DAG, and each BE job as a
+//! resource-pressure/progress model. The calibration targets are the
+//! paper's own measurements: the load→latency curves of Figure 6, the
+//! per-component interference sensitivities of Figure 2, and the MaxLoad /
+//! SLA values of Table 1.
+//!
+//! * [`sensitivity`] — per-resource interference sensitivity of one LC
+//!   component.
+//! * [`component`] — one LC component (workers, service-time phases,
+//!   footprint).
+//! * [`service`] — an LC service: a DAG of components with call patterns,
+//!   plus derived capacity.
+//! * [`apps`] — constructors for the six LC services of Table 1.
+//! * [`be`] — the seven BE jobs of Table 1 (pressure + progress models).
+//! * [`loadgen`] — constant and ClarkNet-like production load generators.
+//! * [`catalog`] — the Table 1 inventory, used by the harness.
+
+pub mod apps;
+pub mod be;
+pub mod catalog;
+pub mod component;
+pub mod loadgen;
+pub mod sensitivity;
+pub mod service;
+
+pub use be::{BeKind, BeSpec};
+pub use component::ComponentSpec;
+pub use loadgen::LoadGen;
+pub use sensitivity::Sensitivity;
+pub use service::{Call, ServiceNode, ServiceSpec};

@@ -1,0 +1,94 @@
+//! Bring your own service: define a custom LC application with the
+//! public API, profile it, and derive Rhythm thresholds for it.
+//!
+//! ```text
+//! cargo run --release --example build_your_own_service
+//! ```
+
+use rhythm::analyzer::contributions;
+use rhythm::core::{profile_service, ProfileConfig};
+use rhythm::workloads::component::ComponentBuilder;
+use rhythm::workloads::sensitivity::Sensitivity;
+use rhythm::workloads::service::{Call, ServiceNode, ServiceSpec};
+
+fn main() {
+    // A three-tier "ticket shop": an API gateway fanning out to a
+    // search index and an inventory database in parallel.
+    let gateway = ComponentBuilder::new("gateway", 3.0, 0.4)
+        .post(2.0, 0.4)
+        .workers(24)
+        .cores(8)
+        .contention(2.0)
+        .knee(0.92)
+        .sensitivity(Sensitivity::new(0.1, 0.1, 0.1, 0.4, 0.6))
+        .build();
+    let search = ComponentBuilder::new("search", 12.0, 0.5)
+        .workers(16)
+        .cores(16)
+        .contention(4.0)
+        .knee(0.85)
+        .llc_mb(12.0)
+        .sensitivity(Sensitivity::new(0.3, 0.8, 0.7, 0.2, 0.6))
+        .build();
+    let inventory = ComponentBuilder::new("inventory", 16.0, 0.7)
+        .workers(12)
+        .cores(12)
+        .contention(7.0)
+        .knee(0.78)
+        .membw_per_req(40.0)
+        .sensitivity(Sensitivity::new(0.4, 1.0, 1.2, 0.3, 0.4))
+        .build();
+    let service = ServiceSpec {
+        name: "ticket-shop".into(),
+        nodes: vec![
+            ServiceNode::fan_out(gateway, vec![Call::always(1), Call::sometimes(2, 0.7)]),
+            ServiceNode::leaf(search),
+            ServiceNode::leaf(inventory),
+        ],
+        sla_ms: 150.0,
+        nominal_maxload_qps: 2_000.0,
+        containers: 9,
+    };
+    service.validate().expect("valid service");
+    println!(
+        "ticket-shop: {} Servpods, simulated max load {:.0} rps, bottleneck {}",
+        service.len(),
+        service.sim_maxload_rps(),
+        service.nodes[service.bottleneck()].component.name
+    );
+
+    // Profile it once (solo-run sweep through the tracer pipeline).
+    let profile = profile_service(
+        &service,
+        &ProfileConfig {
+            load_levels: (1..=9).map(|i| i as f64 * 0.1).collect(),
+            duration_s: 30,
+            seed: 7,
+            min_requests: 3_000,
+            use_tracer: true,
+        },
+    );
+    println!("\nper-Servpod sojourns over load (ms):");
+    print!("{:<8}", "load");
+    for p in &profile.pod_names {
+        print!(" {p:>10}");
+    }
+    println!("  {:>8}", "p99");
+    for level in &profile.levels {
+        print!("{:<7.0}%", level.load * 100.0);
+        for v in &level.mean_sojourn_ms {
+            print!(" {v:>10.2}");
+        }
+        println!("  {:>8.1}", level.tail_ms);
+    }
+
+    // Contributions via Equations 1-5 (note the fan-out alpha on the
+    // off-critical-path branch).
+    println!("\ncontributions (Equation 4/5):");
+    for c in contributions(&profile, &service) {
+        println!(
+            "  {:<10} P={:.3} rho={:.3} V={:.3} alpha={:.2} -> C={:.4}",
+            c.name, c.weight, c.correlation, c.variation, c.alpha, c.value
+        );
+    }
+}

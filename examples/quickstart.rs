@@ -1,0 +1,81 @@
+//! Quickstart: run an LC service solo, co-locate it with a BE job under
+//! Heracles and Rhythm, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rhythm::prelude::*;
+
+fn main() {
+    // 1. Pick a latency-critical service from the paper's Table 1 and
+    //    inspect its Servpod structure.
+    let service = apps::ecommerce();
+    println!("service: {} ({} Servpods)", service.name, service.len());
+    for node in &service.nodes {
+        println!(
+            "  {:<10} {} workers, {} cores, mean work {:.1} ms",
+            node.component.name,
+            node.component.workers,
+            node.component.cores,
+            node.component.mean_work_ms()
+        );
+    }
+    println!(
+        "simulated max load: {:.0} requests/s\n",
+        service.sim_maxload_rps()
+    );
+
+    // 2. Solo run at 60% load: the baseline tail latency.
+    let solo = Engine::new(service.clone(), EngineConfig::solo(0.6, 60, 42)).run();
+    println!(
+        "solo @60% load: {} requests, mean {:.1} ms, p99 {:.1} ms",
+        solo.completed,
+        solo.mean_ms(),
+        solo.p99_ms()
+    );
+
+    // 3. Prepare Rhythm: calibrate the SLA, profile the Servpods once
+    //    (the hybrid strategy: "profiling LC once, feedback control BE"),
+    //    and derive per-Servpod thresholds.
+    let ctx = ServiceContext::prepare(service, &BeSpec::colocation_set(), 42);
+    println!("\nmeasured SLA: {:.1} ms", ctx.sla_ms);
+    println!("derived per-Servpod thresholds:");
+    for (c, t) in ctx
+        .thresholds
+        .contributions
+        .iter()
+        .zip(&ctx.thresholds.thresholds)
+    {
+        println!(
+            "  {:<10} contribution {:.4} -> loadlimit {:.0}%, slacklimit {:.3}",
+            c.name,
+            c.value,
+            t.loadlimit * 100.0,
+            t.slacklimit
+        );
+    }
+
+    // 4. Co-locate with wordcount at 65% load under both controllers.
+    let cell = ExperimentConfig {
+        bes: vec![BeSpec::of(BeKind::Wordcount)],
+        load: LoadGen::constant(0.65),
+        duration_s: 120,
+        seed: 42,
+        record_timeline: false,
+        controller_period_ms: 2_000,
+    };
+    let outcome = ctx.compare(&cell);
+    println!("\nco-located with wordcount @65% load (120 s):");
+    for (name, m) in [("Rhythm", &outcome.rhythm), ("Heracles", &outcome.heracles)] {
+        println!(
+            "  {name:<9} EMU {:.2}  BE throughput {:.2}  CPU {:.0}%  p99/SLA {:.2}",
+            m.emu,
+            m.be_throughput,
+            m.cpu_util * 100.0,
+            m.tail_ratio
+        );
+    }
+    let gain = (outcome.rhythm.emu - outcome.heracles.emu) / outcome.heracles.emu * 100.0;
+    println!("\nRhythm EMU improvement over Heracles: {gain:+.1}%");
+}

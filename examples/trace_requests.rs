@@ -1,0 +1,89 @@
+//! Request tracing walkthrough: the §3.3 pipeline on a live service.
+//!
+//! Runs the Solr service solo, captures the kernel-style event stream
+//! its requests would generate (including unrelated-process noise and
+//! persistent-connection ambiguity), and reconstructs per-Servpod
+//! sojourn times and the causal path graph — then verifies the paper's
+//! §3.3 identity: FIFO pairing may mis-attribute individual requests,
+//! but mean sojourns are exact.
+//!
+//! ```text
+//! cargo run --release --example trace_requests
+//! ```
+
+use rhythm::core::{Engine, EngineConfig};
+use rhythm::tracer::capture::{CaptureConfig, EventCapture};
+use rhythm::tracer::{Cpg, Pairer};
+use rhythm::workloads::apps;
+use std::collections::BTreeMap;
+
+fn main() {
+    // 1. Run the service and keep the ground-truth visit trees.
+    let service = apps::solr();
+    let mut cfg = EngineConfig::solo(0.5, 30, 7);
+    cfg.capture_visits = true;
+    let out = Engine::new(service.clone(), cfg).run();
+    println!(
+        "ran {} solo @50% load: {} requests completed",
+        service.name, out.completed
+    );
+
+    // 2. Synthesize the system-event stream a SystemTap probe would have
+    //    captured — with noise, on persistent TCP connections and
+    //    non-blocking threads (the hard case of §3.3).
+    let mut capture = EventCapture::new(
+        CaptureConfig {
+            non_blocking: true,
+            persistent_connections: true,
+            noise_events_per_request: 12,
+            ..CaptureConfig::default()
+        },
+        7,
+    );
+    for tree in &out.visit_trees {
+        capture.record_request(tree);
+    }
+    let events = capture.finish();
+    println!(
+        "captured {} system events (ACCEPT/RECV/SEND/CLOSE + noise)",
+        events.len()
+    );
+
+    // 3. Build the causal path graph (Figure 4).
+    let cpg = Cpg::from_events(&events, 0);
+    println!("\ncausal path graph:");
+    print!("{}", cpg.to_dot());
+
+    // 4. Pair events into per-Servpod sojourns and compare with ground
+    //    truth.
+    let paired = Pairer::new(0).pair(&events);
+    println!(
+        "paired {} requests; {} noise events filtered by context identifier",
+        paired.request_count, paired.filtered_noise
+    );
+    let mut truth: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for tree in &out.visit_trees {
+        tree.accumulate_sojourns(&mut truth);
+    }
+    println!("\nper-Servpod total residence (ms) — the §3.3 invariant:");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "Servpod", "traced", "truth", "error"
+    );
+    for (pod, sojourns) in &truth {
+        let true_total: f64 = sojourns.iter().sum();
+        let traced = paired.total_residence(*pod);
+        let name = &service.nodes[*pod as usize].component.name;
+        println!(
+            "{name:<14} {traced:>12.1} {true_total:>12.1} {:>9.5}%",
+            (traced - true_total).abs() / true_total * 100.0
+        );
+    }
+    println!(
+        "\n(the §3.3 identity: even with persistent connections and a \
+         non-blocking event loop,\n FIFO pairing may attribute a segment \
+         to the wrong request, but the total —\n and hence the mean over \
+         requests — residence per Servpod is preserved, which is\n why the \
+         contribution analyzer consumes means, Equations 1-3)"
+    );
+}

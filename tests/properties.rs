@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) over the core invariants.
+//!
+//! DESIGN.md §6 lists the invariants: event-calendar ordering, histogram
+//! quantile bounds, tracer mean-sojourn invariance (the §3.3 identity),
+//! contribution/threshold monotonicity, and machine resource-accounting
+//! safety under arbitrary controller action sequences.
+
+use proptest::prelude::*;
+use rhythm::analyzer::find_loadlimit;
+use rhythm::analyzer::slacklimit::find_slacklimits;
+use rhythm::machine::{Allocation, Machine, MachineSpec};
+use rhythm::sim::{Calendar, LatencyHistogram, SimTime};
+use rhythm::tracer::capture::{chain_visit, CaptureConfig, EventCapture};
+use rhythm::tracer::Pairer;
+
+proptest! {
+    #[test]
+    fn calendar_pops_in_nondecreasing_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = cal.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn calendar_is_fifo_for_equal_times(n in 1usize..100) {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..n {
+            cal.schedule(t, i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn histogram_quantile_bounded_by_extremes(values in prop::collection::vec(0.001f64..1e6, 1..500), p in 0.0f64..1.0) {
+        let mut h = LatencyHistogram::new();
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for &v in &values {
+            h.record(v);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let q = h.quantile(p);
+        // Within the histogram's relative error of the true range.
+        prop_assert!(q <= max * 1.001 + 1e-9, "q={q} max={max}");
+        prop_assert!(q >= min * 0.97 - 1e-9, "q={q} min={min}");
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_in_p(values in prop::collection::vec(0.01f64..1e4, 2..300)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let q = h.quantile(i as f64 / 20.0);
+            prop_assert!(q >= last - 1e-12);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn histogram_merge_count_is_additive(a in prop::collection::vec(0.01f64..1e4, 0..200), b in prop::collection::vec(0.01f64..1e4, 0..200)) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let (ca, cb) = (ha.count(), hb.count());
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), ca + cb);
+    }
+
+    /// The §3.3 identity: under a non-blocking single-threaded server
+    /// with persistent connections, FIFO pairing preserves total (and
+    /// hence mean) residence time per Servpod, for arbitrary request
+    /// overlap patterns.
+    #[test]
+    fn tracer_mean_sojourn_invariance(
+        offsets in prop::collection::vec(0u64..40, 1..30),
+        pod1_ms in prop::collection::vec(1u64..30, 1..30),
+    ) {
+        let n = offsets.len().min(pod1_ms.len());
+        let mut requests = Vec::new();
+        let mut t = 0u64;
+        for i in 0..n {
+            t += offsets[i];
+            let mid = pod1_ms[i];
+            // Chain: pod0 (1 ms pre, 1 ms post) -> pod1 (mid ms).
+            requests.push(chain_visit(
+                &[0, 1],
+                &[
+                    vec![
+                        (SimTime::from_millis(t), SimTime::from_millis(t + 1)),
+                        (SimTime::from_millis(t + 1 + mid), SimTime::from_millis(t + 2 + mid)),
+                    ],
+                    vec![(SimTime::from_millis(t + 1), SimTime::from_millis(t + 1 + mid))],
+                ],
+            ));
+        }
+        let mut cap = EventCapture::new(
+            CaptureConfig {
+                non_blocking: true,
+                persistent_connections: true,
+                noise_events_per_request: 3,
+                ..CaptureConfig::default()
+            },
+            42,
+        );
+        let mut truth = std::collections::BTreeMap::new();
+        for r in &requests {
+            cap.record_request(r);
+            r.accumulate_sojourns(&mut truth);
+        }
+        let out = Pairer::new(0).pair(&cap.finish());
+        for (pod, sojourns) in truth {
+            let expect: f64 = sojourns.iter().sum();
+            let got = out.total_residence(pod);
+            prop_assert!((got - expect).abs() < 1e-6, "pod {pod}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn loadlimit_is_one_of_the_loads(covs in prop::collection::vec(0.01f64..3.0, 2..40)) {
+        let loads: Vec<f64> = (1..=covs.len()).map(|i| i as f64 / covs.len() as f64).collect();
+        let ll = find_loadlimit(&loads, &covs);
+        prop_assert!(loads.iter().any(|&l| (l - ll).abs() < 1e-12));
+    }
+
+    #[test]
+    fn slacklimits_are_valid_fractions(contribs in prop::collection::vec(0.0f64..10.0, 1..8), stop_at in 0.05f64..0.95) {
+        let r = find_slacklimits(&contribs, |cand| {
+            cand.iter().sum::<f64>() / (cand.len() as f64) < stop_at
+        });
+        for &s in &r.slacklimits {
+            prop_assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+
+    /// Machine resource accounting stays consistent under arbitrary
+    /// interleavings of admit / grow / cut / suspend / resume / kill.
+    #[test]
+    fn machine_invariants_under_arbitrary_ops(ops in prop::collection::vec(0u8..6, 1..120), lc_cores in 1u32..30) {
+        let mut m = Machine::new(
+            MachineSpec::paper_testbed(),
+            Allocation {
+                cores: lc_cores,
+                llc_ways: 0,
+                mem_mb: 16 * 1024,
+                net_mbps: 500.0,
+                freq_mhz: 2_000,
+            },
+        );
+        let mut ids: Vec<u64> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let pick = |ids: &Vec<u64>| ids.get(i % ids.len().max(1)).copied();
+            match op {
+                0 => {
+                    if let Ok(id) = m.admit_be("job", Allocation {
+                        cores: 1 + (i as u32 % 3),
+                        llc_ways: (i as u32 % 4) * 2,
+                        mem_mb: 1024,
+                        net_mbps: 0.0,
+                        freq_mhz: 2_000,
+                    }) {
+                        ids.push(id);
+                    }
+                }
+                1 => {
+                    if let Some(id) = pick(&ids) {
+                        let _ = m.grow_be(id, Allocation::cores_and_llc(1, 2));
+                    }
+                }
+                2 => {
+                    if let Some(id) = pick(&ids) {
+                        let _ = m.cut_be(id, Allocation::cores_and_llc(1, 2));
+                    }
+                }
+                3 => {
+                    if let Some(id) = pick(&ids) {
+                        let _ = m.suspend_be(id);
+                    }
+                }
+                4 => {
+                    if let Some(id) = pick(&ids) {
+                        let _ = m.resume_be(id);
+                    }
+                }
+                _ => {
+                    if let Some(id) = pick(&ids) {
+                        let _ = m.kill_be(id);
+                        ids.retain(|&x| x != id);
+                    }
+                }
+            }
+            prop_assert!(m.check_invariants().is_ok(), "after op {op} at step {i}: {:?}", m.check_invariants());
+        }
+        // StopBE from any state releases everything.
+        m.kill_all_be();
+        prop_assert_eq!(m.be_count(), 0);
+        prop_assert_eq!(m.cat().be_ways(), 0);
+        prop_assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn pressure_is_bounded(cores in prop::collection::vec(1u32..6, 0..10)) {
+        use rhythm::interference::Pressure;
+        use rhythm::workloads::{BeKind, BeSpec};
+        let mut m = Machine::new(
+            MachineSpec::paper_testbed(),
+            Allocation { cores: 8, llc_ways: 0, mem_mb: 8 * 1024, net_mbps: 100.0, freq_mhz: 2_000 },
+        );
+        let spec = BeSpec::of(BeKind::StreamDram { big: true });
+        let mut specs = std::collections::BTreeMap::new();
+        specs.insert(spec.name.clone(), spec.clone());
+        for &c in &cores {
+            let _ = m.admit_be(&spec.name, Allocation {
+                cores: c, llc_ways: 0, mem_mb: 512, net_mbps: 0.0, freq_mhz: 2_000,
+            });
+        }
+        let p = Pressure::from_machine(&m, &specs);
+        for v in [p.cpu, p.llc, p.dram, p.net] {
+            prop_assert!((0.0..=1.0).contains(&v), "{p:?}");
+        }
+    }
+}
