@@ -89,6 +89,9 @@ impl SojournProfile {
 }
 
 #[cfg(test)]
+pub use tests::sample_profile;
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -155,6 +158,3 @@ mod tests {
         assert!(p.validate().is_err());
     }
 }
-
-#[cfg(test)]
-pub use tests::sample_profile;

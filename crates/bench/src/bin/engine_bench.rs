@@ -1,0 +1,26 @@
+//! Engine throughput benchmark binary — see `rhythm_bench::enginebench`.
+//!
+//! ```text
+//! engine_bench             # full grid -> BENCH_engine.json
+//! engine_bench --quick     # short grid -> BENCH_engine_quick.json
+//! engine_bench --baseline  # full grid -> BENCH_engine_baseline.json
+//! ```
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let baseline = args.iter().any(|a| a == "--baseline");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| *a != "--quick" && *a != "--baseline")
+    {
+        eprintln!("unknown argument: {bad}");
+        eprintln!("usage: engine_bench [--quick] [--baseline]");
+        std::process::exit(2);
+    }
+    if quick && baseline {
+        eprintln!("--quick and --baseline are mutually exclusive");
+        std::process::exit(2);
+    }
+    rhythm_bench::enginebench::run(quick, baseline).map(|_| ())
+}

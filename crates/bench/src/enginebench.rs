@@ -1,0 +1,230 @@
+//! Engine throughput trajectory harness.
+//!
+//! Times `Engine::run` wall-clock over a fixed seeded grid of scenarios
+//! (solo / static / managed, low and high load, chain and fan-out
+//! services) and writes `BENCH_engine.json` at the repo root, so every
+//! perf PR records a comparable number. The committed
+//! `BENCH_engine_baseline.json` holds the numbers recorded by this same
+//! harness *before* the hot-path rework; when present, the current run
+//! embeds it and reports the speedup.
+//!
+//! Invoked via the `engine_bench` binary:
+//!
+//! ```text
+//! cargo run --release --bin engine_bench            # full grid -> BENCH_engine.json
+//! cargo run --release --bin engine_bench -- --quick # short grid -> BENCH_engine_quick.json
+//! cargo run --release --bin engine_bench -- --baseline # full grid -> BENCH_engine_baseline.json
+//! ```
+
+use rhythm_controller::Thresholds;
+use rhythm_core::{ControlMode, Engine, EngineConfig};
+use rhythm_workloads::{apps, BeKind, BeSpec, ServiceSpec};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One grid cell: a named (service, config) pair.
+struct Cell {
+    name: &'static str,
+    service: ServiceSpec,
+    cfg: EngineConfig,
+}
+
+/// The fixed benchmark grid. `scale` shrinks simulated durations for
+/// `--quick` runs (floored so warm-up never dominates).
+fn grid(scale: f64) -> Vec<Cell> {
+    let d = |secs: u64| ((secs as f64 * scale) as u64).max(8);
+    let mut cells = Vec::new();
+    cells.push(Cell {
+        name: "ecommerce/solo@0.6",
+        service: apps::ecommerce(),
+        cfg: EngineConfig::solo(0.6, d(120), 42),
+    });
+    cells.push(Cell {
+        name: "ecommerce/solo@0.9",
+        service: apps::ecommerce(),
+        cfg: EngineConfig::solo(0.9, d(180), 45),
+    });
+    let mut cfg = EngineConfig::solo(0.6, d(120), 43);
+    cfg.bes = vec![BeSpec::of(BeKind::StreamDram { big: true })];
+    cfg.mode = ControlMode::Static {
+        instances: 2,
+        cores: 4,
+        llc_ways: 4,
+        pods: Vec::new(),
+    };
+    cells.push(Cell {
+        name: "ecommerce/static+stream",
+        service: apps::ecommerce(),
+        cfg,
+    });
+    let mut cfg = EngineConfig::solo(0.5, d(160), 44);
+    cfg.bes = vec![BeSpec::of(BeKind::Wordcount)];
+    cfg.sla_ms = 400.0;
+    cfg.mode = ControlMode::Managed {
+        thresholds: vec![Thresholds::new(0.9, 0.05); 4],
+    };
+    cells.push(Cell {
+        name: "ecommerce/managed+wordcount",
+        service: apps::ecommerce(),
+        cfg,
+    });
+    cells.push(Cell {
+        name: "snms/solo@0.8",
+        service: apps::snms(),
+        cfg: EngineConfig::solo(0.8, d(120), 46),
+    });
+    cells.push(Cell {
+        name: "elgg/solo@0.5",
+        service: apps::elgg(),
+        cfg: EngineConfig::solo(0.5, d(120), 47),
+    });
+    cells
+}
+
+struct CellResult {
+    name: &'static str,
+    sim_seconds: u64,
+    requests: u64,
+    best_wall_ms: f64,
+    mean_wall_ms: f64,
+    sim_req_per_sec: f64,
+}
+
+/// Repo root: two levels up from this crate's manifest.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// Pulls a `"key": <number>` value out of JSON text written by this
+/// harness. The key must be unique in the document (ours are); this
+/// avoids needing a JSON parser for the one number we read back.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)?;
+    let rest = json[at + needle.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Runs the grid and writes the JSON report. Returns the output path.
+pub fn run(quick: bool, record_baseline: bool) -> std::io::Result<PathBuf> {
+    let (scale, reps) = if quick { (0.3, 2) } else { (1.0, 5) };
+    let cells = grid(scale);
+    let mut results: Vec<CellResult> = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        // One untimed warm-up run per cell.
+        let _ = Engine::new(cell.service.clone(), cell.cfg.clone()).run();
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        let mut requests = 0;
+        for _ in 0..reps {
+            let engine = Engine::new(cell.service.clone(), cell.cfg.clone());
+            let start = Instant::now();
+            let out = engine.run();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            best = best.min(wall_ms);
+            total += wall_ms;
+            requests = out.completed_total;
+        }
+        let r = CellResult {
+            name: cell.name,
+            sim_seconds: cell.cfg.duration.as_secs_f64() as u64,
+            requests,
+            best_wall_ms: best,
+            mean_wall_ms: total / reps as f64,
+            sim_req_per_sec: requests as f64 / (best / 1e3),
+        };
+        println!(
+            "{:<28} {:>7} req / {:>4} sim-s  best {:>8.2} ms  {:>10.0} req/s",
+            r.name, r.requests, r.sim_seconds, r.best_wall_ms, r.sim_req_per_sec
+        );
+        results.push(r);
+    }
+
+    let total_requests: u64 = results.iter().map(|r| r.requests).sum();
+    let total_best_ms: f64 = results.iter().map(|r| r.best_wall_ms).sum();
+    let aggregate_rps = total_requests as f64 / (total_best_ms / 1e3);
+    println!(
+        "aggregate: {total_requests} requests in {total_best_ms:.1} ms -> {aggregate_rps:.0} simulated req/s"
+    );
+
+    let root = repo_root();
+    let baseline_path = root.join("BENCH_engine_baseline.json");
+    let baseline_rps = if record_baseline {
+        None
+    } else {
+        std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|s| extract_number(&s, "aggregate_sim_req_per_sec"))
+    };
+    let speedup = baseline_rps.map(|b| aggregate_rps / b);
+    if let Some(s) = speedup {
+        println!("speedup vs pre-refactor baseline: {s:.2}x");
+    }
+
+    let cells_json: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "name": r.name,
+                "sim_seconds": r.sim_seconds,
+                "requests": r.requests,
+                "best_wall_ms": r.best_wall_ms,
+                "mean_wall_ms": r.mean_wall_ms,
+                "sim_req_per_sec": r.sim_req_per_sec,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "schema": "rhythm-engine-bench/v1",
+        "quick": quick,
+        "reps": reps,
+        "duration_scale": scale,
+        "cells": cells_json,
+        "aggregate_requests": total_requests,
+        "aggregate_best_wall_ms": total_best_ms,
+        "aggregate_sim_req_per_sec": aggregate_rps,
+        "baseline_sim_req_per_sec": baseline_rps,
+        "speedup_vs_baseline": speedup,
+    });
+    let out_path = if record_baseline {
+        baseline_path
+    } else if quick {
+        root.join("BENCH_engine_quick.json")
+    } else {
+        root.join("BENCH_engine.json")
+    };
+    let mut f = std::fs::File::create(&out_path)?;
+    serde_json::to_writer_pretty(&mut f, &report)?;
+    f.flush()?;
+    println!("wrote {}", out_path.display());
+    Ok(out_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_number_finds_unique_keys() {
+        let j = "{\n  \"aggregate_sim_req_per_sec\": 123456.75,\n  \"x\": 1\n}";
+        assert_eq!(extract_number(j, "aggregate_sim_req_per_sec"), Some(123456.75));
+        assert_eq!(extract_number(j, "missing"), None);
+    }
+
+    #[test]
+    fn grid_is_seeded_and_scaled() {
+        let full = grid(1.0);
+        let quick = grid(0.3);
+        assert_eq!(full.len(), quick.len());
+        for (f, q) in full.iter().zip(&quick) {
+            assert_eq!(f.cfg.seed, q.cfg.seed);
+            assert!(q.cfg.duration <= f.cfg.duration);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod ablate;
 pub mod colocation;
+pub mod enginebench;
 pub mod fig02;
 pub mod fig06;
 pub mod fig07;

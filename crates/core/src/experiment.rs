@@ -13,6 +13,8 @@ use rhythm_controller::Thresholds;
 use rhythm_sim::SimDuration;
 use rhythm_workloads::{BeSpec, LoadGen, ServiceSpec};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::sync::Arc;
 
 /// Which controller manages BE jobs in a run.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,8 +61,9 @@ pub struct ColocationOutcome {
 /// thresholds.
 #[derive(Clone, Debug)]
 pub struct ServiceContext {
-    /// The service.
-    pub service: ServiceSpec,
+    /// The service (shared: every engine stamped out of this context
+    /// reuses the same allocation).
+    pub service: Arc<ServiceSpec>,
     /// Measured SLA (paper methodology).
     pub sla_ms: f64,
     /// Derived contributions and thresholds.
@@ -86,20 +89,22 @@ impl ServiceContext {
         );
         let thresholds = derive_thresholds(&service, &profile, sla_ms, probe_bes, seed);
         ServiceContext {
-            service,
+            service: Arc::new(service),
             sla_ms,
             thresholds,
             seed,
         }
     }
 
-    /// The per-Servpod thresholds for a controller choice.
-    fn thresholds_for(&self, choice: &ControllerChoice) -> Vec<Thresholds> {
+    /// The per-Servpod thresholds for a controller choice. Borrows the
+    /// prepared thresholds where possible; only Heracles (uniform
+    /// values, materialized per pod) allocates.
+    pub fn thresholds_for<'a>(&'a self, choice: &'a ControllerChoice) -> Cow<'a, [Thresholds]> {
         match choice {
-            ControllerChoice::Rhythm => self.thresholds.thresholds.clone(),
-            ControllerChoice::Heracles => vec![Thresholds::heracles(); self.service.len()],
-            ControllerChoice::Custom(t) => t.clone(),
-            ControllerChoice::Solo => Vec::new(),
+            ControllerChoice::Rhythm => Cow::Borrowed(&self.thresholds.thresholds[..]),
+            ControllerChoice::Heracles => Cow::Owned(vec![Thresholds::heracles(); self.service.len()]),
+            ControllerChoice::Custom(t) => Cow::Borrowed(&t[..]),
+            ControllerChoice::Solo => Cow::Borrowed(&[]),
         }
     }
 
@@ -118,11 +123,11 @@ impl ServiceContext {
             other => {
                 ecfg.bes = cfg.bes.clone();
                 ecfg.mode = ControlMode::Managed {
-                    thresholds: self.thresholds_for(other),
+                    thresholds: self.thresholds_for(other).into_owned(),
                 };
             }
         }
-        let out = Engine::new(self.service.clone(), ecfg).run();
+        let out = Engine::new(Arc::clone(&self.service), ecfg).run();
         let metrics = RunMetrics::from_output(&out);
         (out, metrics)
     }

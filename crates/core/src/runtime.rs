@@ -15,11 +15,16 @@ use rhythm_controller::{AgentInputs, AgentStats, ControllerAgent, GrowthConfig, 
 use rhythm_interference::{InterferenceModel, Pressure};
 use rhythm_machine::machine::BeState;
 use rhythm_machine::{Allocation, MachineSpec};
-use rhythm_sim::{Calendar, Dist, LatencyHistogram, OnlineStats, SimDuration, SimRng, SimTime, TailWindow};
+use rhythm_sim::arena::{Arena, Key as ReqKey};
+use rhythm_sim::{
+    Calendar, Dist, LatencyHistogram, OnlineStats, ResolvedDist, SimDuration, SimRng, SimTime,
+    TailWindow,
+};
 use rhythm_tracer::capture::VisitNode;
 use rhythm_workloads::{BeSpec, LoadGen, ServiceSpec};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// How BE jobs are (or are not) run alongside the LC service.
 #[derive(Clone, Debug)]
@@ -204,7 +209,7 @@ impl EngineOutput {
 /// Simulation events.
 enum Ev {
     Arrive,
-    PhaseEnd { req: u64, visit: usize },
+    PhaseEnd { req: ReqKey, visit: usize },
     Control,
     Metrics,
 }
@@ -227,14 +232,50 @@ struct Visit {
 
 struct Request {
     arrival: SimTime,
+    /// Visit slots; recycled between requests, so only the first `used`
+    /// entries belong to this request (stale slots past that keep their
+    /// buffers for the next occupant).
     visits: Vec<Visit>,
+    used: usize,
+}
+
+/// Precomputed per-component sampling state: resolved distributions and
+/// the hoisted contention/burst terms, so `start_phase` does no `Dist`
+/// matching, no `mean()` re-derivation and no `burst_knee` arithmetic
+/// per phase.
+struct NodeSampler {
+    pre: ResolvedDist,
+    post: ResolvedDist,
+    /// `n_phases == 1` with skipped calls does both phases' work locally.
+    single_phase_adds_post: bool,
+    /// Load-contention factor γ of the component.
+    contention: f64,
+    /// `burst_knee − 0.08` (the ramp onset of `burst_probability`).
+    burst_onset: f64,
+    /// The burst-magnitude distribution (exponential, mean 2).
+    burst: ResolvedDist,
+}
+
+/// Everything `refresh_inflations` reads for one node, captured so the
+/// `Pressure` rebuild and model evaluation run only when an input moved.
+/// The BE population is summarized by the machine's change epoch; DVFS
+/// points and the qdisc ceiling are read directly (they mutate through
+/// public fields the epoch cannot see); the LC rate folds in the load
+/// fraction.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct InflationInputs {
+    epoch: u64,
+    lc_mhz: u32,
+    be_mhz: u32,
+    be_limit_bits: u64,
+    rate_bits: u64,
 }
 
 /// Per-node (per-machine) queueing state.
 struct NodeState {
     workers: u32,
     busy: u32,
-    queue: VecDeque<(u64, usize)>,
+    queue: VecDeque<(ReqKey, usize)>,
     /// Current service-time inflation factor.
     inflation: f64,
     /// Worker-busy integral for utilization (ns × workers).
@@ -246,18 +287,30 @@ struct NodeState {
 
 /// The engine itself.
 pub struct Engine {
-    service: ServiceSpec,
+    service: Arc<ServiceSpec>,
     cfg: EngineConfig,
     deployment: Deployment,
     nodes: Vec<NodeState>,
+    /// Precomputed sampling state, one entry per node.
+    samplers: Vec<NodeSampler>,
     agents: Vec<Option<ControllerAgent>>,
     be_specs: BTreeMap<String, BeSpec>,
     cal: Calendar<Ev>,
     rng_arrival: SimRng,
     rng_service: SimRng,
     rng_path: SimRng,
-    requests: HashMap<u64, Request>,
-    next_req: u64,
+    /// In-flight requests. Generational keys keep `PhaseEnd` events
+    /// honest across slot reuse; lookups are an index, not a hash.
+    requests: Arena<Request>,
+    /// Recycled visit buffers from completed requests (steady state
+    /// plans a request without allocating).
+    visit_pool: Vec<Vec<Visit>>,
+    /// Scratch for `plan_visits`: DFS stack of (node, parent slot).
+    plan_stack: Vec<(usize, Option<(usize, usize)>)>,
+    /// Scratch for `plan_visits`: call targets sampled for one node.
+    plan_sampled: Vec<usize>,
+    /// Last inputs each node's inflation was computed from.
+    inflation_inputs: Vec<Option<InflationInputs>>,
     maxload: f64,
     /// Expected visits per node (constant for the service; cached).
     visits: Vec<f64>,
@@ -289,9 +342,11 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds an engine for `service` under `cfg`.
-    pub fn new(service: ServiceSpec, cfg: EngineConfig) -> Engine {
-        let deployment = Deployment::new(service.clone(), cfg.machine_spec);
+    /// Builds an engine for `service` under `cfg`. Accepts either an
+    /// owned spec or a shared `Arc` (sweeps reuse one allocation).
+    pub fn new(service: impl Into<Arc<ServiceSpec>>, cfg: EngineConfig) -> Engine {
+        let service = service.into();
+        let deployment = Deployment::new(Arc::clone(&service), cfg.machine_spec);
         let maxload = service.sim_maxload_rps();
         let visits = service.expected_visits();
         let n = service.len();
@@ -307,6 +362,21 @@ impl Engine {
                 busy_area: 0,
                 last_busy_change: SimTime::ZERO,
                 visits_done_window: 0,
+            })
+            .collect();
+        let samplers = service
+            .nodes
+            .iter()
+            .map(|node| {
+                let c = &node.component;
+                NodeSampler {
+                    pre: c.pre_ms.resolved(),
+                    post: c.post_ms.resolved(),
+                    single_phase_adds_post: !node.calls.is_empty() && c.post_ms.mean() > 0.0,
+                    contention: c.contention,
+                    burst_onset: c.burst_knee - 0.08,
+                    burst: Dist::Exponential { mean: 2.0 }.resolved(),
+                }
             })
             .collect();
         let agents: Vec<Option<ControllerAgent>> = match &cfg.mode {
@@ -329,14 +399,18 @@ impl Engine {
         let end_at = SimTime::ZERO + cfg.duration;
         Engine {
             nodes,
+            samplers,
             agents,
             be_specs,
             cal: Calendar::with_capacity(1024),
             rng_arrival: root.split("arrivals"),
             rng_service: root.split("service"),
             rng_path: root.split("path"),
-            requests: HashMap::new(),
-            next_req: 0,
+            requests: Arena::with_capacity(1024),
+            visit_pool: Vec::new(),
+            plan_stack: Vec::new(),
+            plan_sampled: Vec::new(),
+            inflation_inputs: vec![None; n],
             maxload,
             visits,
             tail: TailWindow::new(SimDuration::from_secs(10), 10),
@@ -386,7 +460,7 @@ impl Engine {
 
     fn setup(&mut self) {
         if let Some(mhz) = self.cfg.lc_freq_mhz {
-            let pods = self.cfg.lc_freq_pods.clone();
+            let pods = &self.cfg.lc_freq_pods;
             for (i, m) in self.deployment.machines.iter_mut().enumerate() {
                 if pods.is_empty() || pods.contains(&i) {
                     m.lc_dvfs.set_mhz(mhz);
@@ -400,8 +474,7 @@ impl Engine {
             ref pods,
         } = self.cfg.mode
         {
-            let pods = pods.clone();
-            let specs: Vec<BeSpec> = self.cfg.bes.clone();
+            let specs = &self.cfg.bes;
             if !specs.is_empty() {
                 for (mi, m) in self.deployment.machines.iter_mut().enumerate() {
                     if !pods.is_empty() && !pods.contains(&mi) {
@@ -447,68 +520,84 @@ impl Engine {
         }
     }
 
-    /// Samples the visit plan for a new request (which calls fire).
-    fn plan_visits(&mut self, arrival: SimTime) -> Vec<Visit> {
-        let mut visits: Vec<Visit> = Vec::with_capacity(self.service.len());
+    /// Samples the visit plan for a new request (which calls fire) into
+    /// `buf`, reusing its `Visit` slots and their child/phase buffers.
+    /// Returns the number of visits planned; entries past that count are
+    /// stale leftovers kept for their heap buffers.
+    fn plan_visits(&mut self, arrival: SimTime, buf: &mut Vec<Visit>) -> usize {
+        let mut used = 0usize;
         // Stack of (node, parent visit, child slot).
-        let mut stack: Vec<(usize, Option<(usize, usize)>)> = vec![(ServiceSpec::ENTRY, None)];
-        while let Some((node, parent)) = stack.pop() {
+        self.plan_stack.clear();
+        self.plan_stack.push((ServiceSpec::ENTRY, None));
+        while let Some((node, parent)) = self.plan_stack.pop() {
             let spec = &self.service.nodes[node];
-            let mut sampled: Vec<usize> = Vec::new();
+            let parallel = spec.parallel;
+            self.plan_sampled.clear();
             for call in &spec.calls {
                 if call.probability >= 1.0 || self.rng_path.chance(call.probability) {
-                    sampled.push(call.target);
+                    self.plan_sampled.push(call.target);
                 }
             }
-            let idx = visits.len();
-            let n_phases = if sampled.is_empty() {
+            let idx = used;
+            let n_phases = if self.plan_sampled.is_empty() {
                 1
-            } else if spec.parallel {
+            } else if parallel {
                 2
             } else {
-                sampled.len() + 1
+                self.plan_sampled.len() + 1
             };
-            visits.push(Visit {
-                node,
-                parent,
-                children: Vec::with_capacity(sampled.len()),
-                parallel: spec.parallel,
-                phase: 0,
-                n_phases,
-                pending_children: 0,
-                phase_start: arrival,
-                sojourn_ns: 0,
-                phase_rec: Vec::new(),
-            });
+            if let Some(v) = buf.get_mut(idx) {
+                v.node = node;
+                v.parent = parent;
+                v.children.clear();
+                v.parallel = parallel;
+                v.phase = 0;
+                v.n_phases = n_phases;
+                v.pending_children = 0;
+                v.phase_start = arrival;
+                v.sojourn_ns = 0;
+                v.phase_rec.clear();
+            } else {
+                buf.push(Visit {
+                    node,
+                    parent,
+                    children: Vec::with_capacity(self.plan_sampled.len()),
+                    parallel,
+                    phase: 0,
+                    n_phases,
+                    pending_children: 0,
+                    phase_start: arrival,
+                    sojourn_ns: 0,
+                    phase_rec: Vec::new(),
+                });
+            }
+            used += 1;
             // Push in reverse so the LIFO stack creates sibling visits in
             // call order (sequential nodes dispatch children by order).
-            for (slot, child_node) in sampled.iter().enumerate().rev() {
-                stack.push((*child_node, Some((idx, slot))));
+            for (slot, child_node) in self.plan_sampled.iter().enumerate().rev() {
+                self.plan_stack.push((*child_node, Some((idx, slot))));
             }
         }
         // Wire children arrays (the stack pushed children after parents,
         // so parent indices are valid).
-        for i in 0..visits.len() {
-            if let Some((p, _slot)) = visits[i].parent {
-                visits[p].children.push(i);
+        for i in 0..used {
+            if let Some((p, _slot)) = buf[i].parent {
+                buf[p].children.push(i);
             }
         }
-        visits
+        used
     }
 
     fn on_arrive(&mut self, now: SimTime) {
-        let id = self.next_req;
-        self.next_req += 1;
-        let visits = self.plan_visits(now);
-        self.requests.insert(
-            id,
-            Request {
-                arrival: now,
-                visits,
-            },
-        );
+        let mut visits = self.visit_pool.pop().unwrap_or_default();
+        let used = self.plan_visits(now, &mut visits);
+        let req = self.requests.insert(Request {
+            arrival: now,
+            visits,
+            used,
+        });
         self.count_arrival(now);
-        self.enqueue_phase(now, id, 0);
+        self.enqueue_phase(now, req, 0);
         self.schedule_next_arrival(now);
     }
 
@@ -553,8 +642,8 @@ impl Engine {
         ns.busy = (ns.busy as i32 + delta).max(0) as u32;
     }
 
-    fn enqueue_phase(&mut self, now: SimTime, req: u64, visit: usize) {
-        let node = self.requests[&req].visits[visit].node;
+    fn enqueue_phase(&mut self, now: SimTime, req: ReqKey, visit: usize) {
+        let node = self.requests.get(req).expect("request exists").visits[visit].node;
         if self.nodes[node].busy < self.nodes[node].workers {
             self.start_phase(now, req, visit);
         } else {
@@ -562,75 +651,68 @@ impl Engine {
         }
     }
 
-    fn start_phase(&mut self, now: SimTime, req: u64, visit: usize) {
+    fn start_phase(&mut self, now: SimTime, req: ReqKey, visit: usize) {
         let node;
         let dur_ms;
         {
-            let r = self.requests.get_mut(&req).expect("request exists");
+            let r = self.requests.get_mut(req).expect("request exists");
             let v = &mut r.visits[visit];
             node = v.node;
             v.phase_start = now;
-            let spec = &self.service.nodes[node].component;
-            let base = Self::phase_duration(
-                spec.pre_ms,
-                spec.post_ms,
-                v.phase,
-                v.n_phases,
-                !self.service.nodes[node].calls.is_empty(),
-                &mut self.rng_service,
-            );
+            let s = &self.samplers[node];
+            let rng = &mut self.rng_service;
+            // The work of one phase: phase 0 samples the pre
+            // distribution, later phases the post distribution. A node
+            // whose downstream calls were all skipped this request
+            // (single phase, but the component *has* call edges) does
+            // both phases' work locally.
+            let base = if v.n_phases == 1 {
+                if s.single_phase_adds_post {
+                    s.pre.sample(rng) + s.post.sample(rng)
+                } else {
+                    s.pre.sample(rng)
+                }
+            } else if v.phase == 0 {
+                s.pre.sample(rng)
+            } else {
+                s.post.sample(rng)
+            };
             // Interference inflation compounds with the load-contention
             // inflation (locks/pools degrade with offered load), plus
             // rare service bursts whose probability ramps up around the
             // component's knee (GC pauses, compactions — Figure 8).
             let f = self.cfg.load.fraction_at(now);
-            let burst = if self.rng_service.chance(spec.burst_probability(f)) {
-                1.0 + Dist::Exponential { mean: 2.0 }.sample(&mut self.rng_service)
+            let burst = if rng.chance(0.02 * ((f - s.burst_onset) / 0.1).clamp(0.0, 1.0)) {
+                1.0 + s.burst.sample(rng)
             } else {
                 1.0
             };
-            dur_ms = base * self.nodes[node].inflation * spec.contention_factor(f) * burst;
+            let fc = f.clamp(0.0, 1.05);
+            let contention = 1.0 + s.contention * fc * fc * fc;
+            dur_ms = base * self.nodes[node].inflation * contention * burst;
         }
         self.update_busy(node, now, 1);
         let at = now + SimDuration::from_millis_f64(dur_ms.max(1e-6));
         self.cal.schedule(at, Ev::PhaseEnd { req, visit });
     }
 
-    /// The work distribution of one phase: phase 0 samples the pre
-    /// distribution, later phases the post distribution. A node whose
-    /// downstream calls were all skipped this request (single phase, but
-    /// the component *has* call edges) does both phases' work locally.
-    fn phase_duration(
-        pre: Dist,
-        post: Dist,
-        phase: usize,
-        n_phases: usize,
-        has_calls: bool,
-        rng: &mut SimRng,
-    ) -> f64 {
-        if n_phases == 1 {
-            if has_calls && post.mean() > 0.0 {
-                pre.sample(rng) + post.sample(rng)
-            } else {
-                pre.sample(rng)
-            }
-        } else if phase == 0 {
-            pre.sample(rng)
-        } else {
-            post.sample(rng)
-        }
-    }
-
-    fn on_phase_end(&mut self, now: SimTime, req: u64, visit: usize) {
-        let node = self.requests[&req].visits[visit].node;
+    fn on_phase_end(&mut self, now: SimTime, req: ReqKey, visit: usize) {
+        let node = self.requests.get(req).expect("request exists").visits[visit].node;
         self.update_busy(node, now, -1);
         // Start the next queued phase on this node.
         if let Some((q_req, q_visit)) = self.nodes[node].queue.pop_front() {
             self.start_phase(now, q_req, q_visit);
         }
-        // Advance the visit.
-        let (dispatch, complete): (Vec<usize>, bool) = {
-            let r = self.requests.get_mut(&req).expect("request exists");
+        // Advance the visit. Children to dispatch are re-read from the
+        // visit per iteration instead of cloned out.
+        enum Advance {
+            /// Dispatch `count` children starting at child slot `first`.
+            Dispatch { first: usize, count: usize },
+            Complete,
+            Wait,
+        }
+        let adv = {
+            let r = self.requests.get_mut(req).expect("request exists");
             let v = &mut r.visits[visit];
             let started = v.phase_start;
             v.sojourn_ns += now.saturating_since(started).as_nanos();
@@ -640,30 +722,43 @@ impl Engine {
             v.phase += 1;
             if v.parallel && v.phase == 1 && !v.children.is_empty() {
                 v.pending_children = v.children.len();
-                (v.children.clone(), false)
+                Advance::Dispatch {
+                    first: 0,
+                    count: v.children.len(),
+                }
             } else if !v.parallel && v.phase <= v.children.len() {
-                (vec![v.children[v.phase - 1]], false)
+                Advance::Dispatch {
+                    first: v.phase - 1,
+                    count: 1,
+                }
             } else if v.phase >= v.n_phases {
-                (Vec::new(), true)
+                Advance::Complete
             } else {
-                (Vec::new(), false)
+                Advance::Wait
             }
         };
-        self.nodes[node].visits_done_window += if complete { 1 } else { 0 };
-        for child in dispatch {
-            self.enqueue_phase(now, req, child);
-        }
-        if complete {
-            self.on_visit_complete(now, req, visit);
+        match adv {
+            Advance::Dispatch { first, count } => {
+                for slot in first..first + count {
+                    let child =
+                        self.requests.get(req).expect("request exists").visits[visit].children[slot];
+                    self.enqueue_phase(now, req, child);
+                }
+            }
+            Advance::Complete => {
+                self.nodes[node].visits_done_window += 1;
+                self.on_visit_complete(now, req, visit);
+            }
+            Advance::Wait => {}
         }
     }
 
-    fn on_visit_complete(&mut self, now: SimTime, req: u64, visit: usize) {
-        let parent = self.requests[&req].visits[visit].parent;
+    fn on_visit_complete(&mut self, now: SimTime, req: ReqKey, visit: usize) {
+        let parent = self.requests.get(req).expect("request exists").visits[visit].parent;
         match parent {
             Some((p, _slot)) => {
                 let resume = {
-                    let r = self.requests.get_mut(&req).expect("request exists");
+                    let r = self.requests.get_mut(req).expect("request exists");
                     let pv = &mut r.visits[p];
                     if pv.parallel {
                         pv.pending_children -= 1;
@@ -680,12 +775,13 @@ impl Engine {
         }
     }
 
-    fn on_request_complete(&mut self, now: SimTime, req: u64) {
-        let r = self.requests.remove(&req).expect("request exists");
+    fn on_request_complete(&mut self, now: SimTime, req: ReqKey) {
+        let r = self.requests.remove(req).expect("request exists");
         let latency_ms = now.saturating_since(r.arrival).as_millis_f64();
         self.tail.record(now, latency_ms);
         self.completed_total += 1;
         if now < self.measure_from {
+            self.visit_pool.push(r.visits);
             return;
         }
         self.completed += 1;
@@ -701,7 +797,7 @@ impl Engine {
             self.window_epoch = epoch;
         }
         self.window_hist.record(latency_ms);
-        for v in &r.visits {
+        for v in &r.visits[..r.used] {
             let ms = v.sojourn_ns as f64 / 1e6;
             self.sojourn_stats[v.node].push(ms);
             if let Some(s) = &mut self.sojourns {
@@ -714,6 +810,7 @@ impl Engine {
                 self.visit_trees.push(tree);
             }
         }
+        self.visit_pool.push(r.visits);
     }
 
     fn build_visit_tree(r: &Request, idx: usize) -> Option<VisitNode> {
@@ -732,18 +829,32 @@ impl Engine {
     }
 
     /// Recomputes the interference inflation of every node from the
-    /// machines' current BE population and isolation state.
+    /// machines' current BE population and isolation state. Nodes whose
+    /// inputs (BE population epoch, DVFS points, qdisc ceiling, LC rate)
+    /// have not moved since the last refresh keep their cached factor —
+    /// solo runs never rebuild a `Pressure` after setup.
     fn refresh_inflations(&mut self) {
         for i in 0..self.nodes.len() {
             let machine = &self.deployment.machines[i];
-            let comp = &self.service.nodes[i].component;
             let rate = self.current_node_rate(i);
+            let inputs = InflationInputs {
+                epoch: machine.change_epoch(),
+                lc_mhz: machine.lc_dvfs.current_mhz(),
+                be_mhz: machine.be_dvfs.current_mhz(),
+                be_limit_bits: machine.qdisc.be_limit_mbps().to_bits(),
+                rate_bits: rate.to_bits(),
+            };
+            if self.inflation_inputs[i] == Some(inputs) {
+                continue;
+            }
+            let comp = &self.service.nodes[i].component;
             let pressure = Pressure::from_machine(machine, &self.be_specs).with_lc_usage(
                 machine.spec(),
                 comp.membw_mbps_at(rate),
                 comp.net_mbps_at(rate),
             );
             self.nodes[i].inflation = self.cfg.interference.inflation(comp, &pressure, machine);
+            self.inflation_inputs[i] = Some(inputs);
         }
     }
 
@@ -859,38 +970,53 @@ impl Engine {
         let tail_ms = self.tail.quantile(now, 0.99);
         let slack = ThresholdPolicy::slack(tail_ms, self.cfg.sla_ms);
         let n = self.nodes.len();
-        let bes: Vec<BeSpec> = self.cfg.bes.clone();
-        for i in 0..n {
-            let Some(agent) = self.agents[i].as_mut() else {
-                continue;
-            };
-            if bes.is_empty() {
-                continue;
+        {
+            // Borrow fields separately so the agents can mutate the
+            // machines while the specs stay borrowed from the config —
+            // no per-tick clone of the BE spec list.
+            let Engine {
+                agents,
+                deployment,
+                cfg,
+                service,
+                nodes,
+                visits,
+                maxload,
+                ..
+            } = self;
+            let bes = &cfg.bes;
+            for i in 0..n {
+                let Some(agent) = agents[i].as_mut() else {
+                    continue;
+                };
+                if bes.is_empty() {
+                    continue;
+                }
+                let machine = &mut deployment.machines[i];
+                let comp = &service.nodes[i].component;
+                let rate = cfg.load.fraction_at(now) * *maxload * visits[i];
+                let ns = &nodes[i];
+                let lc_cpu = (ns.busy as f64 / ns.workers as f64).clamp(0.0, 1.0);
+                let be_cpu = if machine.running_be_count() > 0 { 1.0 } else { 0.0 };
+                // Round-robin the BE workload offered to the admission step.
+                let be = &bes[(machine.be_started as usize) % bes.len()];
+                // Scheduler interaction (§4): the machine only receives new
+                // BE jobs while the scheduler's queue for it is non-empty.
+                let pending = match cfg.be_queue_per_machine {
+                    None => true,
+                    Some(limit) => machine.be_started < limit as u64,
+                };
+                let inputs = AgentInputs {
+                    load_fraction,
+                    tail_ms,
+                    sla_ms: cfg.sla_ms,
+                    lc_net_mbps: comp.net_mbps_at(rate),
+                    lc_cpu_util: lc_cpu,
+                    be_cpu_util: be_cpu,
+                    be_jobs_pending: pending,
+                };
+                agent.tick(machine, be, &inputs);
             }
-            let machine = &mut self.deployment.machines[i];
-            let comp = &self.service.nodes[i].component;
-            let rate = self.cfg.load.fraction_at(now) * self.maxload * self.visits[i];
-            let ns = &self.nodes[i];
-            let lc_cpu = (ns.busy as f64 / ns.workers as f64).clamp(0.0, 1.0);
-            let be_cpu = if machine.running_be_count() > 0 { 1.0 } else { 0.0 };
-            // Round-robin the BE workload offered to the admission step.
-            let be = &bes[(machine.be_started as usize) % bes.len()];
-            // Scheduler interaction (§4): the machine only receives new
-            // BE jobs while the scheduler's queue for it is non-empty.
-            let pending = match self.cfg.be_queue_per_machine {
-                None => true,
-                Some(limit) => machine.be_started < limit as u64,
-            };
-            let inputs = AgentInputs {
-                load_fraction,
-                tail_ms,
-                sla_ms: self.cfg.sla_ms,
-                lc_net_mbps: comp.net_mbps_at(rate),
-                lc_cpu_util: lc_cpu,
-                be_cpu_util: be_cpu,
-                be_jobs_pending: pending,
-            };
-            agent.tick(machine, be, &inputs);
         }
         self.refresh_inflations();
         if self.cfg.record_timeline && now >= self.measure_from {

@@ -8,6 +8,7 @@
 use rhythm_machine::{Allocation, Machine, MachineSpec};
 use rhythm_workloads::ServiceSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One Servpod: the mapping of a service component onto a machine.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -20,8 +21,9 @@ pub struct Servpod {
 
 /// A deployed LC service: machines plus the Servpod mapping.
 pub struct Deployment {
-    /// The service being deployed.
-    pub service: ServiceSpec,
+    /// The service being deployed (shared with the engine and any
+    /// sibling deployments of the same spec).
+    pub service: Arc<ServiceSpec>,
     /// One machine per Servpod.
     pub machines: Vec<Machine>,
     /// The Servpod records.
@@ -36,7 +38,8 @@ impl Deployment {
     ///
     /// Panics if the service fails validation or a component exceeds the
     /// machine capacity.
-    pub fn new(service: ServiceSpec, machine_spec: MachineSpec) -> Deployment {
+    pub fn new(service: impl Into<Arc<ServiceSpec>>, machine_spec: MachineSpec) -> Deployment {
+        let service = service.into();
         service.validate().expect("invalid service");
         let maxload = service.sim_maxload_rps();
         let visits = service.expected_visits();

@@ -95,6 +95,10 @@ pub struct Machine {
     /// Live BE instances by id.
     bes: BTreeMap<BeInstanceId, BeInstance>,
     next_be_id: BeInstanceId,
+    /// Bumped by every allocation-changing operation (admit / grow / cut
+    /// / suspend / resume / kill); lets observers cache derived state
+    /// (e.g. interference pressure) and invalidate only on change.
+    change_epoch: u64,
     /// Cumulative counters for reporting.
     pub be_started: u64,
     pub be_killed: u64,
@@ -135,6 +139,7 @@ impl Machine {
             power: PowerModel::from_spec(&spec),
             bes: BTreeMap::new(),
             next_be_id: 0,
+            change_epoch: 0,
             be_started: 0,
             be_killed: 0,
             spec,
@@ -144,6 +149,15 @@ impl Machine {
     /// The machine's static capacities.
     pub fn spec(&self) -> &MachineSpec {
         &self.spec
+    }
+
+    /// Monotone counter of allocation changes (BE admissions, grants,
+    /// suspends, resumes, kills). Two reads returning the same value
+    /// guarantee the BE population, CAT partition and core ownership are
+    /// unchanged between them; DVFS points and the qdisc ceiling are
+    /// *not* covered (they are cheap to read directly).
+    pub fn change_epoch(&self) -> u64 {
+        self.change_epoch
     }
 
     /// The LC Servpod's reservation.
@@ -243,6 +257,7 @@ impl Machine {
             },
         );
         self.be_started += 1;
+        self.change_epoch += 1;
         debug_assert!(self.check_invariants().is_ok());
         Ok(id)
     }
@@ -276,6 +291,7 @@ impl Machine {
         let inst = self.bes.get_mut(&id).expect("looked up above");
         inst.cpuset = inst.cpuset.union(&extra);
         inst.alloc += delta;
+        self.change_epoch += 1;
         debug_assert!(self.check_invariants().is_ok());
         Ok(())
     }
@@ -311,6 +327,7 @@ impl Machine {
         inst.alloc.mem_mb -= cut_mem;
         self.free_cores = self.free_cores.union(&freed_cores);
         self.cat.shrink_be(cut_ways);
+        self.change_epoch += 1;
         debug_assert!(self.check_invariants().is_ok());
         Ok(Allocation {
             cores: cut_cores,
@@ -343,6 +360,7 @@ impl Machine {
             freq_mhz: inst.alloc.freq_mhz,
         };
         inst.state = BeState::Suspended;
+        self.change_epoch += 1;
         debug_assert!(self.check_invariants().is_ok());
         Ok(())
     }
@@ -395,6 +413,7 @@ impl Machine {
         inst.state = BeState::Running;
         inst.saved = None;
         let granted = inst.alloc;
+        self.change_epoch += 1;
         debug_assert!(self.check_invariants().is_ok());
         Ok(granted)
     }
@@ -416,6 +435,7 @@ impl Machine {
         self.free_cores = self.free_cores.union(&inst.cpuset);
         self.cat.shrink_be(inst.alloc.llc_ways);
         self.be_killed += 1;
+        self.change_epoch += 1;
         debug_assert!(self.check_invariants().is_ok());
         Ok(())
     }

@@ -1,0 +1,217 @@
+//! A generation-keyed slab arena for hot-path object storage.
+//!
+//! The discrete-event engine keeps every in-flight request in one of
+//! these instead of a `HashMap`: lookups become a bounds-checked index
+//! plus a generation compare (no hashing), and freed slots are recycled
+//! through a free list so steady-state operation allocates nothing.
+//!
+//! Keys are *stable* and *generational*: removing a slot bumps its
+//! generation, so a stale [`Key`] held after removal can never alias a
+//! newer occupant — `get` simply returns `None`. (Generations wrap after
+//! 2³² reuses of a single slot; event horizons in the simulator are
+//! shorter by many orders of magnitude.)
+
+/// Handle to one arena slot. Packs `(slot index, generation)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    slot: u32,
+    gen: u32,
+}
+
+impl Key {
+    /// Packs the key into one `u64` (`slot` in the high half).
+    pub fn pack(self) -> u64 {
+        (self.slot as u64) << 32 | self.gen as u64
+    }
+
+    /// Inverse of [`Key::pack`].
+    pub fn unpack(raw: u64) -> Key {
+        Key {
+            slot: (raw >> 32) as u32,
+            gen: raw as u32,
+        }
+    }
+
+    /// The slot index (for diagnostics; not unique over time).
+    pub fn slot(self) -> usize {
+        self.slot as usize
+    }
+}
+
+struct Slot<T> {
+    gen: u32,
+    value: Option<T>,
+}
+
+/// A slab with a free list and generational keys. See the module docs.
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Arena<T> {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// An empty arena with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Arena<T> {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// True if no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots ever created (live + recyclable).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stores `value`, reusing a freed slot when one exists.
+    pub fn insert(&mut self, value: T) -> Key {
+        match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.value.is_none(), "free-listed slot still occupied");
+                s.value = Some(value);
+                Key { slot, gen: s.gen }
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("arena over 2^32 slots");
+                self.slots.push(Slot {
+                    gen: 0,
+                    value: Some(value),
+                });
+                Key { slot, gen: 0 }
+            }
+        }
+    }
+
+    /// The value under `key`, or `None` if it was removed (stale keys
+    /// fail the generation check even when the slot was reused).
+    pub fn get(&self, key: Key) -> Option<&T> {
+        let s = self.slots.get(key.slot as usize)?;
+        if s.gen != key.gen {
+            return None;
+        }
+        s.value.as_ref()
+    }
+
+    /// Mutable access to the value under `key`.
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut T> {
+        let s = self.slots.get_mut(key.slot as usize)?;
+        if s.gen != key.gen {
+            return None;
+        }
+        s.value.as_mut()
+    }
+
+    /// True if `key` refers to a live value.
+    pub fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes and returns the value under `key`, bumping the slot's
+    /// generation so the key (and any copy of it) goes stale.
+    pub fn remove(&mut self, key: Key) -> Option<T> {
+        let s = self.slots.get_mut(key.slot as usize)?;
+        if s.gen != key.gen {
+            return None;
+        }
+        let value = s.value.take()?;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(key.slot);
+        Some(value)
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a = Arena::new();
+        let k1 = a.insert("one");
+        let k2 = a.insert("two");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(k1), Some(&"one"));
+        assert_eq!(a.get(k2), Some(&"two"));
+        assert_eq!(a.remove(k1), Some("one"));
+        assert_eq!(a.get(k1), None);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn stale_key_never_aliases_reused_slot() {
+        let mut a = Arena::new();
+        let k1 = a.insert(1);
+        assert_eq!(a.remove(k1), Some(1));
+        let k2 = a.insert(2);
+        // The slot is reused but the generation moved on.
+        assert_eq!(k1.slot(), k2.slot());
+        assert_ne!(k1, k2);
+        assert_eq!(a.get(k1), None);
+        assert_eq!(a.remove(k1), None);
+        assert_eq!(a.get(k2), Some(&2));
+    }
+
+    #[test]
+    fn no_allocation_growth_in_steady_state() {
+        let mut a = Arena::with_capacity(4);
+        let keys: Vec<Key> = (0..4).map(|i| a.insert(i)).collect();
+        for k in keys {
+            a.remove(k);
+        }
+        for round in 0..100 {
+            let k = a.insert(round);
+            a.remove(k);
+        }
+        assert_eq!(a.capacity(), 4, "free-listed slots are recycled");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut a = Arena::new();
+        let k = a.insert(vec![1, 2]);
+        a.get_mut(k).unwrap().push(3);
+        assert_eq!(a.get(k), Some(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let mut a = Arena::new();
+        let k0 = a.insert(0);
+        a.remove(k0);
+        let k = a.insert(1); // generation 1, slot 0
+        assert_eq!(Key::unpack(k.pack()), k);
+        assert!(a.contains(Key::unpack(k.pack())));
+    }
+
+    #[test]
+    fn out_of_range_key_is_none() {
+        let a: Arena<u8> = Arena::new();
+        assert_eq!(a.get(Key { slot: 7, gen: 0 }), None);
+    }
+}

@@ -87,6 +87,45 @@ impl Dist {
         }
     }
 
+    /// Pre-resolves the distribution into a [`ResolvedDist`] whose sample
+    /// loop does no parameter derivation (no `1/alpha`, no Marsaglia–Tsang
+    /// constants, no enum-wide match in the caller). Sampling a resolved
+    /// distribution consumes the same RNG draws and performs the same
+    /// float operations as [`Dist::sample`], so the two are bit-identical
+    /// on a shared stream — the engine's hot path relies on this.
+    pub fn resolved(&self) -> ResolvedDist {
+        match *self {
+            Dist::Deterministic { value } => ResolvedDist::Constant { value },
+            Dist::Uniform { lo, hi } => ResolvedDist::Uniform { lo, span: hi - lo },
+            Dist::Exponential { mean } => ResolvedDist::Exponential { mean },
+            Dist::LogNormal { median, sigma } => ResolvedDist::LogNormal { median, sigma },
+            Dist::Gamma { shape, scale } => {
+                if shape < 1.0 {
+                    // Boost trick: Gamma(a) = Gamma(a + 1) · U^(1/a).
+                    let d = (shape + 1.0) - 1.0 / 3.0;
+                    ResolvedDist::GammaBoost {
+                        d,
+                        c: 1.0 / (9.0 * d).sqrt(),
+                        inv_shape: 1.0 / shape,
+                        scale,
+                    }
+                } else {
+                    let d = shape - 1.0 / 3.0;
+                    ResolvedDist::Gamma {
+                        d,
+                        c: 1.0 / (9.0 * d).sqrt(),
+                        scale,
+                    }
+                }
+            }
+            Dist::BoundedPareto { scale, alpha, cap } => ResolvedDist::Pareto {
+                scale,
+                inv_alpha: 1.0 / alpha,
+                cap,
+            },
+        }
+    }
+
     /// Returns a copy of the distribution scaled so that every sample is
     /// multiplied by `factor` (used to apply interference inflation and
     /// DVFS slow-down to service times).
@@ -115,6 +154,83 @@ impl Dist {
                 alpha,
                 cap: cap * factor,
             },
+        }
+    }
+}
+
+/// A [`Dist`] with all derived sampling constants precomputed.
+///
+/// Built via [`Dist::resolved`]; bit-identical to sampling the source
+/// distribution on the same RNG stream.
+#[derive(Clone, Copy, Debug)]
+pub enum ResolvedDist {
+    /// Point mass.
+    Constant { value: f64 },
+    /// `lo + span · U`.
+    Uniform { lo: f64, span: f64 },
+    /// Inverse-transform exponential.
+    Exponential { mean: f64 },
+    /// `median · exp(sigma · Z)`.
+    LogNormal { median: f64, sigma: f64 },
+    /// Marsaglia–Tsang with precomputed `d = shape − 1/3`,
+    /// `c = 1/√(9d)` (shape ≥ 1).
+    Gamma { d: f64, c: f64, scale: f64 },
+    /// Shape < 1 via the boost trick: `d`/`c` are for `shape + 1`,
+    /// the result is multiplied by `U^inv_shape`.
+    GammaBoost {
+        d: f64,
+        c: f64,
+        inv_shape: f64,
+        scale: f64,
+    },
+    /// Bounded Pareto with `inv_alpha = 1/alpha`.
+    Pareto { scale: f64, inv_alpha: f64, cap: f64 },
+}
+
+impl ResolvedDist {
+    /// Draws one sample. Same stream consumption as [`Dist::sample`].
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            ResolvedDist::Constant { value } => value,
+            ResolvedDist::Uniform { lo, span } => lo + span * rng.uniform(),
+            ResolvedDist::Exponential { mean } => -mean * (1.0 - rng.uniform()).ln(),
+            ResolvedDist::LogNormal { median, sigma } => {
+                median * (sigma * rng.standard_normal()).exp()
+            }
+            ResolvedDist::Gamma { d, c, scale } => marsaglia_tsang(rng, d, c) * scale,
+            ResolvedDist::GammaBoost {
+                d,
+                c,
+                inv_shape,
+                scale,
+            } => {
+                let g = marsaglia_tsang(rng, d, c);
+                let u = 1.0 - rng.uniform();
+                g * u.powf(inv_shape) * scale
+            }
+            ResolvedDist::Pareto {
+                scale,
+                inv_alpha,
+                cap,
+            } => {
+                let u = 1.0 - rng.uniform();
+                (scale / u.powf(inv_alpha)).min(cap)
+            }
+        }
+    }
+}
+
+/// The Marsaglia–Tsang acceptance loop with precomputed constants.
+fn marsaglia_tsang(rng: &mut SimRng, d: f64, c: f64) -> f64 {
+    loop {
+        let x = rng.standard_normal();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = 1.0 - rng.uniform();
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
         }
     }
 }
@@ -257,6 +373,46 @@ mod tests {
         for d in dists {
             for _ in 0..10_000 {
                 assert!(d.sample(&mut rng) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn resolved_is_bit_identical_to_source() {
+        let dists = [
+            Dist::constant(3.25),
+            Dist::Uniform { lo: 1.5, hi: 9.75 },
+            Dist::Exponential { mean: 4.2 },
+            Dist::LogNormal {
+                median: 10.0,
+                sigma: 0.55,
+            },
+            Dist::Gamma {
+                shape: 2.5,
+                scale: 1.7,
+            },
+            Dist::Gamma {
+                shape: 0.6,
+                scale: 3.0,
+            },
+            Dist::BoundedPareto {
+                scale: 1.0,
+                alpha: 1.5,
+                cap: 50.0,
+            },
+        ];
+        for (i, d) in dists.iter().enumerate() {
+            let r = d.resolved();
+            let mut rng_a = SimRng::from_seed(100 + i as u64);
+            let mut rng_b = SimRng::from_seed(100 + i as u64);
+            for draw in 0..5_000 {
+                let a = d.sample(&mut rng_a);
+                let b = r.sample(&mut rng_b);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{d:?} draw {draw}: {a} vs {b}"
+                );
             }
         }
     }

@@ -8,6 +8,8 @@
 //!   [`SimDuration`]).
 //! * [`calendar`] — a deterministic event calendar ([`Calendar`]) with
 //!   stable FIFO ordering among simultaneous events.
+//! * [`arena`] — a generation-keyed slab ([`Arena`]) backing the engine's
+//!   in-flight request table without hashing or steady-state allocation.
 //! * [`rng`] — seedable, splittable random-number streams ([`SimRng`]).
 //! * [`dist`] — the sampling distributions used by the workload models
 //!   (exponential, log-normal, gamma, Pareto, ...).
@@ -23,6 +25,7 @@
 //! same seed produce bit-identical results, which the test suite and the
 //! figure-regeneration harness rely on.
 
+pub mod arena;
 pub mod calendar;
 pub mod dist;
 pub mod hist;
@@ -31,8 +34,9 @@ pub mod stats;
 pub mod time;
 pub mod window;
 
+pub use arena::Arena;
 pub use calendar::Calendar;
-pub use dist::Dist;
+pub use dist::{Dist, ResolvedDist};
 pub use hist::LatencyHistogram;
 pub use rng::SimRng;
 pub use stats::{pearson, OnlineStats};

@@ -1,0 +1,106 @@
+//! Golden determinism tests: the engine's output metrics must stay
+//! **bit-identical** for fixed seeds across refactors of the hot path.
+//!
+//! The fixtures below were recorded from the engine before the
+//! allocation-free hot-path rework (request arena, cached inflation,
+//! precomputed samplers); the tests prove the rework changed no observable
+//! behavior. If an *intentional* behavior change ever invalidates them,
+//! regenerate with:
+//!
+//! ```text
+//! cargo test --test golden -- --ignored print_fingerprints --nocapture
+//! ```
+//!
+//! and paste the printed arrays — but treat any diff as a determinism
+//! regression until proven otherwise: every figure reproduction depends on
+//! these streams.
+
+use rhythm::core::{ControlMode, Engine, EngineConfig, EngineOutput};
+use rhythm::prelude::*;
+
+/// Flattens every metric of an [`EngineOutput`] into exact bits:
+/// counters as-is, floats via `to_bits`. Any behavioral drift in
+/// arrivals, service sampling, queueing order, controller actions or
+/// float accumulation order changes some element.
+fn fingerprint(out: &EngineOutput) -> Vec<u64> {
+    let mut fp = vec![
+        out.completed,
+        out.completed_total,
+        out.latency.count(),
+        out.p99_ms().to_bits(),
+        out.mean_ms().to_bits(),
+        out.latency.quantile(0.5).to_bits(),
+        out.latency.max().to_bits(),
+        out.worst_window_p99_ms.to_bits(),
+        out.offered_load_avg.to_bits(),
+        out.measured_s.to_bits(),
+        out.maxload_rps.to_bits(),
+    ];
+    for p in &out.pods {
+        fp.push(p.cpu_util.to_bits());
+        fp.push(p.lc_cpu_util.to_bits());
+        fp.push(p.membw_util.to_bits());
+        fp.push(p.be_throughput.to_bits());
+        fp.push(p.be_instances_avg.to_bits());
+        fp.push(p.sojourn_stats.count());
+        fp.push(p.sojourn_stats.mean().to_bits());
+        fp.push(p.sojourn_stats.sample_variance().to_bits());
+    }
+    fp
+}
+
+fn solo_run() -> EngineOutput {
+    Engine::new(apps::ecommerce(), EngineConfig::solo(0.6, 30, 42)).run()
+}
+
+fn static_run() -> EngineOutput {
+    let mut cfg = EngineConfig::solo(0.6, 30, 43);
+    cfg.bes = vec![BeSpec::of(BeKind::StreamDram { big: true })];
+    cfg.mode = ControlMode::Static {
+        instances: 2,
+        cores: 4,
+        llc_ways: 4,
+        pods: Vec::new(),
+    };
+    Engine::new(apps::ecommerce(), cfg).run()
+}
+
+fn managed_run() -> EngineOutput {
+    let mut cfg = EngineConfig::solo(0.5, 40, 44);
+    cfg.bes = vec![BeSpec::of(BeKind::Wordcount)];
+    cfg.sla_ms = 400.0;
+    cfg.mode = ControlMode::Managed {
+        thresholds: vec![Thresholds::new(0.9, 0.05); 4],
+    };
+    Engine::new(apps::ecommerce(), cfg).run()
+}
+
+/// Regenerates the fixture arrays (see module docs).
+#[test]
+#[ignore]
+fn print_fingerprints() {
+    for (name, out) in [
+        ("SOLO", solo_run()),
+        ("STATIC", static_run()),
+        ("MANAGED", managed_run()),
+    ] {
+        println!("const {name}: &[u64] = &{:?};", fingerprint(&out));
+    }
+}
+
+include!("fixtures/golden_fixtures.rs");
+
+#[test]
+fn solo_metrics_bit_identical() {
+    assert_eq!(fingerprint(&solo_run()), SOLO);
+}
+
+#[test]
+fn static_metrics_bit_identical() {
+    assert_eq!(fingerprint(&static_run()), STATIC);
+}
+
+#[test]
+fn managed_metrics_bit_identical() {
+    assert_eq!(fingerprint(&managed_run()), MANAGED);
+}

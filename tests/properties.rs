@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use rhythm::analyzer::find_loadlimit;
 use rhythm::analyzer::slacklimit::find_slacklimits;
 use rhythm::machine::{Allocation, Machine, MachineSpec};
-use rhythm::sim::{Calendar, LatencyHistogram, SimTime};
+use rhythm::sim::{Arena, Calendar, LatencyHistogram, SimTime};
 use rhythm::tracer::capture::{chain_visit, CaptureConfig, EventCapture};
 use rhythm::tracer::Pairer;
 
@@ -69,6 +69,97 @@ proptest! {
             prop_assert!(q >= last - 1e-12);
             last = q;
         }
+    }
+
+    /// Splitting a stream of observations at any point and merging the
+    /// two halves must reproduce the single-histogram sketch exactly
+    /// (count, sum, max and every quantile) — the engine relies on this
+    /// when windowed histograms are folded into run totals.
+    #[test]
+    fn histogram_merge_round_trips(values in prop::collection::vec(0.01f64..1e5, 1..400), split_at in 0usize..400) {
+        let split = split_at.min(values.len());
+        let mut whole = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i < split { left.record(v) } else { right.record(v) }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        // Sums differ only by float re-association at the split point.
+        prop_assert!((left.sum() - whole.sum()).abs() <= 1e-9 * whole.sum().max(1.0));
+        prop_assert_eq!(left.max(), whole.max());
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            prop_assert_eq!(left.quantile(p), whole.quantile(p), "p={}", p);
+        }
+    }
+
+    /// Pre-allocation is invisible: a calendar built `with_capacity`
+    /// yields the identical (time, event) sequence as a default one for
+    /// any schedule, including ties resolved by FIFO order.
+    #[test]
+    fn calendar_with_capacity_round_trips(times in prop::collection::vec(0u64..1_000, 1..150), cap in 0usize..512) {
+        let mut plain = Calendar::new();
+        let mut sized = Calendar::with_capacity(cap);
+        for (i, &t) in times.iter().enumerate() {
+            plain.schedule(SimTime::from_micros(t), i);
+            sized.schedule(SimTime::from_micros(t), i);
+        }
+        loop {
+            let a = plain.pop();
+            let b = sized.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(plain.now(), sized.now());
+    }
+
+    /// The request arena never hands out a key that aliases a live slot:
+    /// live keys are pairwise distinct, stale keys observe `None`
+    /// forever, and every live key reads back its own value — under
+    /// arbitrary insert/remove/stale-probe interleavings.
+    #[test]
+    fn arena_never_reuses_a_live_slot(ops in prop::collection::vec(0u8..4, 1..300)) {
+        let mut arena: Arena<u64> = Arena::new();
+        let mut live: Vec<(rhythm::sim::arena::Key, u64)> = Vec::new();
+        let mut stale: Vec<rhythm::sim::arena::Key> = Vec::new();
+        let mut stamp = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                // Insert (biased: two opcodes) so the slab both grows and
+                // recycles.
+                0 | 1 => {
+                    stamp += 1;
+                    let k = arena.insert(stamp);
+                    prop_assert!(!live.iter().any(|&(l, _)| l == k), "key reissued while live");
+                    live.push((k, stamp));
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let (k, v) = live.swap_remove(i % live.len());
+                        prop_assert_eq!(arena.remove(k), Some(v));
+                        stale.push(k);
+                    }
+                }
+                _ => {
+                    if let Some(&k) = stale.get(i % stale.len().max(1)) {
+                        prop_assert_eq!(arena.get(k), None, "stale key resolved");
+                        prop_assert!(!arena.contains(k));
+                    }
+                }
+            }
+            prop_assert_eq!(arena.len(), live.len());
+            for &(k, v) in &live {
+                prop_assert_eq!(arena.get(k), Some(&v));
+            }
+        }
+        // Slots, not keys, are recycled: capacity never exceeds the
+        // high-water mark of simultaneously live values plus frees.
+        prop_assert!(arena.capacity() <= ops.len());
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`, covering the surface the
+//! `rhythm-bench` benches use: `black_box`, `Criterion` with
+//! `sample_size`/`measurement_time`/`warm_up_time`, `bench_function`,
+//! `benchmark_group` + `bench_with_input` + `finish`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: after a short warm-up the closure
+//! runs for up to `measurement_time` split over `sample_size` samples, and
+//! the per-iteration minimum/mean are printed. No statistics, plots or
+//! baselines — just enough to run `cargo bench` and read numbers.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(cfg: &Criterion, name: &str, f: &mut F) {
+    // Warm-up: repeat single iterations until the warm-up budget is spent,
+    // which also yields a per-iteration estimate.
+    let warm_start = Instant::now();
+    let mut est = Duration::ZERO;
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < cfg.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        est += b.elapsed;
+        warm_iters += 1;
+        if warm_iters >= 1_000 {
+            break;
+        }
+    }
+    let per_iter = est / warm_iters.max(1) as u32;
+    let budget_per_sample = cfg.measurement_time / cfg.sample_size as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1_000
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters_per_sample as u32;
+        if per < min {
+            min = per;
+        }
+        total += b.elapsed;
+        total_iters += iters_per_sample;
+    }
+    let mean = total / total_iters.max(1) as u32;
+    println!(
+        "bench: {name:<50} min {:>12} mean {:>12} ({} samples x {} iters)",
+        format!("{min:?}"),
+        format!("{mean:?}"),
+        cfg.sample_size,
+        iters_per_sample
+    );
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(self.c, &label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(self.c, &label, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(1);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runner_smoke() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(3u64), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+}

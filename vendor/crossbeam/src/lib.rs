@@ -1,0 +1,131 @@
+//! Offline stand-in for the `crossbeam` crate, covering the surface
+//! `rhythm-bench::parallel_map` uses: [`scope`] with [`Scope::spawn`]
+//! (closures that receive `&Scope`, like upstream) and
+//! [`queue::SegQueue`].
+//!
+//! `scope` delegates to `std::thread::scope`; a panic in any spawned
+//! thread surfaces as `Err`, matching upstream semantics. `SegQueue` is a
+//! mutex-protected `VecDeque` — adequate for the coarse-grained work
+//! items the harness pushes through it.
+
+use std::any::Any;
+
+/// Scoped-thread handle passed to [`scope`]'s closure and to each spawned
+/// closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives this scope (so it can
+    /// spawn further threads), like upstream crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            let s = Scope { inner };
+            f(&s)
+        })
+    }
+}
+
+/// Creates a scope for spawning borrowing threads. Returns `Err` with the
+/// panic payload if the closure or any (unjoined) spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC queue (mutex-backed in this stand-in).
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().expect("SegQueue poisoned").push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("SegQueue poisoned").pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("SegQueue poisoned").len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+
+    #[test]
+    fn scoped_threads_share_queue() {
+        let q: SegQueue<usize> = SegQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    while let Some(v) = q.pop() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.into_inner(), (0..100).sum());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let r = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().map(|v| v * 2).unwrap_or(0))
+                .join()
+                .unwrap_or(0)
+        });
+        assert_eq!(r.expect("ok"), 42);
+    }
+}

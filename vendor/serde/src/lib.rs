@@ -1,0 +1,204 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in environments without a crates-io mirror, so the
+//! external crates are vendored as minimal API-compatible implementations
+//! (see `vendor/README.md`). Instead of upstream's serializer/visitor
+//! machinery, [`Serialize`] converts a value into a [`json::Value`] tree
+//! which the vendored `serde_json` prints. That covers everything the
+//! workspace does with serde: `#[derive(Serialize, Deserialize)]` plus
+//! `serde_json::{json!, to_writer_pretty}`.
+//!
+//! [`Deserialize`] is a marker with a blanket impl — nothing in the
+//! workspace deserializes, but the derive and trait bounds must compile.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Serialization into a JSON value tree.
+pub trait Serialize {
+    fn to_value(&self) -> json::Value;
+}
+
+/// Marker standing in for upstream's `Deserialize`. Blanket-implemented;
+/// the derive emits nothing.
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Upstream-compatible module paths.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub mod de {
+    pub use crate::Deserialize;
+}
+
+// ---- Serialize impls for the primitive and std types the workspace uses ----
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> json::Value {
+        if let Ok(v) = u64::try_from(*self) {
+            json::Value::UInt(v)
+        } else {
+            json::Value::Float(*self as f64)
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> json::Value {
+        json::Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> json::Value {
+        self[..].to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        self[..].to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> json::Value {
+        // Sort for deterministic output (upstream preserves hash order).
+        let mut pairs: Vec<(String, json::Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        json::Value::Object(pairs)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}

@@ -1,0 +1,316 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the item
+//! shapes this workspace actually derives on: non-generic structs with named
+//! fields, tuple structs, unit structs, and enums whose variants are unit,
+//! named-field or tuple. No `#[serde(...)]` attributes are supported — the
+//! workspace uses none.
+//!
+//! The generated `Serialize` impl targets the vendored `serde` crate's
+//! value-tree trait (`fn to_value(&self) -> serde::json::Value`), which the
+//! vendored `serde_json` then prints. `Deserialize` expands to nothing: the
+//! vendored `serde` provides a blanket impl and nothing in the workspace
+//! deserializes.
+//!
+//! Parsing is done directly over `proc_macro::TokenStream` (no syn/quote),
+//! and code is generated as source text and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Skips any number of outer attributes (`#[...]`, including desugared doc
+/// comments) at the cursor.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses named fields out of a `{ ... }` group body, returning field names.
+fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, got {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected ':' after field name, got {other}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant `( ... )` body.
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if let Some(TokenTree::Punct(p)) = toks.last() {
+        if p.as_char() == ',' && depth == 0 {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_enum_variants(body: &TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip a possible discriminant and the separating comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let is_enum = match &toks[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("serde_derive stub: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (derive on `{name}`)");
+        }
+    }
+    let kind = if is_enum {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_enum_variants(&g.stream()))
+            }
+            other => panic!("serde_derive stub: expected enum body, got {other}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive stub: unexpected struct body: {other:?}"),
+        }
+    };
+    Item { name, kind }
+}
+
+/// Emits the statements that build a `__obj` vec of (name, value) pairs.
+fn named_field_pushes(fields: &[String], accessor: &str) -> String {
+    let mut src = String::new();
+    src.push_str(&format!(
+        "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::json::Value)> = \
+         ::std::vec::Vec::with_capacity({});\n",
+        fields.len()
+    ));
+    for f in fields {
+        src.push_str(&format!(
+            "__obj.push((::std::string::String::from(\"{f}\"), \
+             ::serde::Serialize::to_value({accessor}{f})));\n"
+        ));
+    }
+    src
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::json::Value::Null".to_string(),
+        Kind::TupleStruct(0) => "::serde::json::Value::Null".to_string(),
+        // Newtype structs serialize transparently, like upstream serde.
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::json::Value::Array(::std::vec![{}])",
+                elems.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => format!(
+            "{}::serde::json::Value::Object(__obj)",
+            named_field_pushes(fields, "&self.")
+        ),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "Self::{vn} => ::serde::json::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes = named_field_pushes(fields, "");
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {binds} }} => {{\n{pushes}\
+                             ::serde::json::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::json::Value::Object(__obj))])\n}}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::json::Value::Array(::std::vec![{}])",
+                                elems.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vn}({}) => ::serde::json::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let src = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n\
+         }}\n"
+    );
+    src.parse().expect("serde_derive stub: generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    // The vendored serde has a blanket Deserialize impl; nothing to emit.
+    TokenStream::new()
+}

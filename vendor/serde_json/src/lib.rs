@@ -1,0 +1,90 @@
+//! Offline stand-in for `serde_json`, over the vendored `serde`'s value
+//! tree. Provides [`Value`], [`json!`], [`to_value`], [`to_string`],
+//! [`to_string_pretty`], [`to_writer`] and [`to_writer_pretty`].
+//!
+//! Divergences from upstream: numbers are `Int`/`UInt`/`Float` variants
+//! (no `Number` wrapper); the writer helpers return `std::io::Result`
+//! (serialization itself is infallible here); `json!` supports literal
+//! keys and expression values — nested object literals must be written as
+//! nested `json!` calls, which is how the workspace already uses it.
+
+pub use serde::json::Value;
+
+use serde::Serialize;
+use std::io::Write;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Compact JSON text for any serializable value.
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> std::io::Result<String> {
+    Ok(v.to_value().to_json_string())
+}
+
+/// Pretty JSON text for any serializable value.
+pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> std::io::Result<String> {
+    Ok(v.to_value().to_json_string_pretty())
+}
+
+/// Writes compact JSON to `w`.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut w: W, v: &T) -> std::io::Result<()> {
+    w.write_all(v.to_value().to_json_string().as_bytes())
+}
+
+/// Writes pretty JSON (2-space indent, trailing newline) to `w`.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(mut w: W, v: &T) -> std::io::Result<()> {
+    w.write_all(v.to_value().to_json_string_pretty().as_bytes())?;
+    w.write_all(b"\n")
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Keys must be string
+/// literals; values are arbitrary serializable expressions (use a nested
+/// `json!` for an object value).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "a": 1u64,
+            "b": [1.5f64, 2.5f64],
+            "c": json!({"nested": true}),
+            "s": "x\"y",
+        });
+        assert_eq!(
+            v.to_json_string(),
+            r#"{"a":1,"b":[1.5,2.5],"c":{"nested":true},"s":"x\"y"}"#
+        );
+    }
+
+    #[test]
+    fn pretty_round_trips_shapes() {
+        let v = json!({"k": [1u64, 2u64], "empty": Vec::<u64>::new()});
+        let s = v.to_json_string_pretty();
+        assert!(s.contains("\"k\": [\n"));
+        assert!(s.contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(json!(f64::NAN).to_json_string(), "null");
+        assert_eq!(json!(f64::INFINITY).to_json_string(), "null");
+    }
+}
