@@ -1,0 +1,18 @@
+//! Cluster runner scaling benchmark — see `rhythm_bench::clusterbench`.
+//!
+//! ```text
+//! cluster_bench            # 16-machine cell at 1/2/4/8 threads -> BENCH_cluster.json
+//! cluster_bench --quick    # shorter simulated duration, same file
+//! ```
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(bad) = args.iter().find(|a| *a != "--quick") {
+        eprintln!("unknown argument: {bad}");
+        eprintln!("usage: cluster_bench [--quick]");
+        std::process::exit(2);
+    }
+    rhythm_bench::clusterbench::run(quick)?;
+    Ok(())
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! repro <id> [...]   # one or more of: tab1 fig02 fig06 fig07 fig08
 //!                    #   fig09 fig10 fig11 fig12 fig13 fig14
-//!                    #   fig15 fig16 fig17 fig18 tab2 ablate
+//!                    #   fig15 fig16 fig17 fig18 tab2 ablate cluster
 //! repro all          # everything (reuses the Figures 9-14 grid)
 //! ```
 //!
@@ -28,6 +28,7 @@ fn main() -> std::io::Result<()> {
             "fig17",
             "fig18+tab2",
             "ablate",
+            "cluster",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -74,6 +75,7 @@ fn main() -> std::io::Result<()> {
             "fig18" => b::fig18::run()?,
             "tab2" => b::fig18::run_tab2()?,
             "ablate" => b::ablate::run()?,
+            "cluster" => b::cluster::run()?,
             other => {
                 eprintln!("[repro] unknown experiment id: {other}");
                 std::process::exit(2);

@@ -1,0 +1,110 @@
+//! The cluster experiment: Rhythm vs Heracles at N ∈ {4, 16, 64}
+//! machines.
+//!
+//! Scales the paper's 4-machine evaluation up with the cluster layer:
+//! each cell runs the shared-backlog BE dispatcher (interference-score
+//! placement) over N machines at 85% load — the regime where the two
+//! controllers diverge — and reports cluster-wide EMU / CPU / MemBW plus
+//! the job-level outcomes only the cluster can see: BE completion times
+//! and wasted work. Writes `results/cluster.{txt,json}`.
+
+use crate::Report;
+use rhythm_cluster::{compare_cluster, ClusterConfig, ClusterMetrics, PlacementPolicy};
+use rhythm_core::experiment::ServiceContext;
+use rhythm_workloads::{apps, BeKind, BeSpec};
+use serde_json::json;
+
+/// Cluster sizes evaluated (the paper's testbed is N=4).
+pub const SIZES: [usize; 3] = [4, 16, 64];
+
+/// The cluster configuration one cell runs (shared by the scaling
+/// benchmark so BENCH numbers describe the same workload).
+pub fn cell_config(machines: usize, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(machines).with_scaled_jobs(0.05);
+    cfg.duration_s = 300;
+    cfg.jobs_per_machine = 4;
+    cfg.policy = PlacementPolicy::InterferenceScore;
+    cfg.seed = seed;
+    cfg.threads = 8;
+    cfg
+}
+
+/// The prepared e-commerce context every cell shares.
+pub fn context(seed: u64) -> ServiceContext {
+    ServiceContext::prepare(
+        apps::ecommerce(),
+        &[
+            BeSpec::of(BeKind::Wordcount),
+            BeSpec::of(BeKind::StreamDram { big: true }),
+        ],
+        seed,
+    )
+}
+
+fn fmt_row(name: &str, m: &ClusterMetrics) -> String {
+    format!(
+        "{name:<10} EMU {:>5.3}  LC {:>5.3}  BE {:>5.3}  CPU {:>4.1}%  MemBW {:>4.1}%  \
+         p99/SLA {:>5.2}  jobs {:>3}/{:<3}  compl-mean {:>6.1}s  wasted {:>5.2} jobs  kills {:>3}",
+        m.emu,
+        m.lc_throughput,
+        m.be_throughput,
+        m.cpu_util * 100.0,
+        m.membw_util * 100.0,
+        m.tail_ratio,
+        m.jobs.completed,
+        m.jobs.submitted,
+        m.jobs.completion_mean_s,
+        m.jobs.wasted_jobs,
+        m.jobs.kills,
+    )
+}
+
+/// Runs the experiment and writes the report.
+pub fn run() -> std::io::Result<()> {
+    let ctx = context(0xC1);
+    let mut report = Report::new(
+        "cluster",
+        "Cluster-level Rhythm vs Heracles at N machines (shared BE backlog, interference-score placement)",
+    );
+    let mut cells = Vec::new();
+    for &n in &SIZES {
+        let cfg = cell_config(n, 0xC1);
+        let (rhythm, heracles) = compare_cluster(&ctx, &cfg);
+        report.line(format!("-- N = {n} machines ({} replicas) --", rhythm.metrics.replicas));
+        report.line(fmt_row("rhythm", &rhythm.metrics));
+        report.line(fmt_row("heracles", &heracles.metrics));
+        let gain = if heracles.metrics.emu > 0.0 {
+            (rhythm.metrics.emu / heracles.metrics.emu - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        report.line(format!("EMU improvement: {gain:+.1}%"));
+        report.blank();
+        cells.push(json!({
+            "machines": n,
+            "rhythm": rhythm.metrics,
+            "heracles": heracles.metrics,
+            "emu_gain_pct": gain,
+        }));
+    }
+    report.finish(&json!({
+        "policy": "interference-score",
+        "load": 0.85,
+        "duration_s": 300,
+        "cells": cells,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_config_scales_with_n() {
+        for &n in &SIZES {
+            let c = cell_config(n, 1);
+            assert_eq!(c.machines, n);
+            assert_eq!(c.total_jobs(), 4 * n);
+        }
+    }
+}

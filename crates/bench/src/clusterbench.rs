@@ -1,0 +1,98 @@
+//! Cluster runner scaling harness.
+//!
+//! Times `run_cluster` wall-clock on the 16-machine cell at worker-thread
+//! counts {1, 2, 4, 8} and writes `BENCH_cluster.json` at the repo root.
+//! Because cluster results are bit-identical for any thread count, the
+//! cells also double as a determinism check: every row must report the
+//! same simulated request count.
+//!
+//! ```text
+//! cargo run --release --bin cluster_bench            # -> BENCH_cluster.json
+//! cargo run --release --bin cluster_bench -- --quick # shorter run, same file
+//! ```
+
+use rhythm_cluster::run_cluster;
+use rhythm_core::experiment::ControllerChoice;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Thread counts benchmarked.
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Repo root: two levels up from this crate's manifest.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+/// Runs the scaling grid and writes the JSON report. Returns the path.
+pub fn run(quick: bool) -> std::io::Result<PathBuf> {
+    let machines = 16;
+    let ctx = crate::cluster::context(0xC1);
+    let mut base = crate::cluster::cell_config(machines, 0xC1);
+    if quick {
+        base.duration_s = 60;
+    }
+    let reps = if quick { 1 } else { 2 };
+
+    let mut cells = Vec::new();
+    let mut requests_seen: Option<u64> = None;
+    let mut wall_by_threads = std::collections::BTreeMap::new();
+    for &threads in &THREADS {
+        let mut cfg = base.clone();
+        cfg.threads = threads;
+        // Warm-up run (first touch pays page faults and lazy init).
+        let _ = run_cluster(&ctx, &ControllerChoice::Rhythm, &cfg);
+        let mut best = f64::INFINITY;
+        let mut requests = 0;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let out = run_cluster(&ctx, &ControllerChoice::Rhythm, &cfg);
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            requests = out.metrics.completed_requests;
+        }
+        match requests_seen {
+            None => requests_seen = Some(requests),
+            Some(r) => assert_eq!(
+                r, requests,
+                "thread count changed simulated results — determinism broken"
+            ),
+        }
+        let rps = requests as f64 / (best / 1e3);
+        println!(
+            "threads={threads:<2} {requests:>8} req  best {best:>8.1} ms  {rps:>10.0} req/s"
+        );
+        wall_by_threads.insert(threads, best);
+        cells.push(serde_json::json!({
+            "threads": threads,
+            "requests": requests,
+            "best_wall_ms": best,
+            "sim_req_per_sec": rps,
+        }));
+    }
+    let speedup_8v1 = wall_by_threads[&1] / wall_by_threads[&8];
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("speedup 8 threads vs 1: {speedup_8v1:.2}x (host has {host_cpus} CPUs)");
+    if host_cpus < 2 {
+        println!("note: single-CPU host — parallel speedup cannot manifest; the grid still verifies thread-count determinism and measures pool overhead");
+    }
+
+    let report = serde_json::json!({
+        "schema": "rhythm-cluster-bench/v1",
+        "quick": quick,
+        "machines": machines,
+        "duration_s": base.duration_s,
+        "reps": reps,
+        "host_cpus": host_cpus,
+        "cells": cells,
+        "speedup_8_threads_vs_1": speedup_8v1,
+    });
+    let out_path = repo_root().join("BENCH_cluster.json");
+    let mut f = std::fs::File::create(&out_path)?;
+    serde_json::to_writer_pretty(&mut f, &report)?;
+    f.flush()?;
+    println!("wrote {}", out_path.display());
+    Ok(out_path)
+}

@@ -17,8 +17,11 @@
 //! | [`fig18`] | Figure 18 + Table 2 — threshold sweeps |
 //! | [`tab1`] | Table 1 — workload inventory |
 //! | [`ablate`] | ablations of Rhythm's design choices |
+//! | [`cluster`] | cluster-level Rhythm vs Heracles at N ∈ {4, 16, 64} |
 
 pub mod ablate;
+pub mod cluster;
+pub mod clusterbench;
 pub mod colocation;
 pub mod enginebench;
 pub mod fig02;

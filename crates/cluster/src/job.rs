@@ -1,0 +1,218 @@
+//! The cluster's unit of batch work: one BE job with checkpointed
+//! progress.
+//!
+//! The paper's cluster scheduler (§3.5) treats StopBE as "kill the BE
+//! instances and put the jobs back in the queue". What that costs depends
+//! on how much of the killed work survives: real batch frameworks
+//! checkpoint periodically, so a kill rolls the job back to its last
+//! checkpoint rather than to zero. Modelling the checkpoint fraction
+//! makes both *completion time* (queue wait + reruns included) and
+//! *wasted work* (progress thrown away by kills) measurable outcomes of a
+//! placement policy.
+
+use rhythm_workloads::BeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Cluster-wide job identifier (dense, assigned at submission).
+pub type JobId = u64;
+
+/// Where a job currently is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the shared queue.
+    Queued,
+    /// Offered to a machine (global index), not yet admitted by its
+    /// controller.
+    Offered(usize),
+    /// Running as a BE instance on a machine (global index).
+    Running(usize),
+    /// Finished.
+    Done,
+}
+
+/// One BE job flowing through the cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterJob {
+    /// Job id.
+    pub id: JobId,
+    /// The workload this job runs (one instance of `spec` = one job).
+    pub spec: BeSpec,
+    /// Durable progress in `[0, 1]`: the last checkpoint that survives a
+    /// kill.
+    pub checkpoint: f64,
+    /// Progress thrown away by kills (fractions of one job).
+    pub wasted: f64,
+    /// Times this job was killed (StopBE) and requeued.
+    pub kills: u32,
+    /// Submission time in virtual seconds.
+    pub submitted_s: f64,
+    /// Completion time in virtual seconds (None while unfinished).
+    pub completed_s: Option<f64>,
+    /// Lifecycle state.
+    pub state: JobState,
+}
+
+impl ClusterJob {
+    /// A fresh job submitted at `submitted_s`.
+    pub fn new(id: JobId, spec: BeSpec, submitted_s: f64) -> ClusterJob {
+        ClusterJob {
+            id,
+            spec,
+            checkpoint: 0.0,
+            wasted: 0.0,
+            kills: 0,
+            submitted_s,
+            completed_s: None,
+            state: JobState::Queued,
+        }
+    }
+
+    /// Total progress if the current incarnation has run `incarnation`
+    /// beyond the last checkpoint.
+    pub fn total_progress(&self, incarnation: f64) -> f64 {
+        self.checkpoint + incarnation
+    }
+
+    /// Records a StopBE kill: the incarnation had `incarnation` progress
+    /// beyond the checkpoint; everything past the last checkpoint
+    /// boundary (multiples of `ckpt_fraction`) is wasted, the rest is
+    /// banked. With `ckpt_fraction <= 0` nothing survives a kill beyond
+    /// previously banked checkpoints.
+    pub fn on_kill(&mut self, incarnation: f64, ckpt_fraction: f64) {
+        let total = self.total_progress(incarnation).min(1.0);
+        let banked = if ckpt_fraction > 0.0 {
+            (total / ckpt_fraction).floor() * ckpt_fraction
+        } else {
+            self.checkpoint
+        };
+        let banked = banked.max(self.checkpoint).min(total);
+        self.wasted += total - banked;
+        self.checkpoint = banked;
+        self.kills += 1;
+        self.state = JobState::Queued;
+    }
+
+    /// Marks the job finished at `t_s`.
+    pub fn on_complete(&mut self, t_s: f64) {
+        self.completed_s = Some(t_s);
+        self.checkpoint = 1.0;
+        self.state = JobState::Done;
+    }
+
+    /// Queue-to-completion time in virtual seconds (None while
+    /// unfinished).
+    pub fn completion_time_s(&self) -> Option<f64> {
+        self.completed_s.map(|t| t - self.submitted_s)
+    }
+}
+
+/// Aggregate job outcomes of one cluster run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs that finished within the run.
+    pub completed: u64,
+    /// StopBE kills across all jobs.
+    pub kills: u64,
+    /// Mean completion time of finished jobs, in virtual seconds.
+    pub completion_mean_s: f64,
+    /// 99th-percentile completion time of finished jobs.
+    pub completion_p99_s: f64,
+    /// Total wasted work in job-fractions (1.0 = one whole job redone).
+    pub wasted_jobs: f64,
+    /// Total wasted work in solo-machine-seconds (fraction ×
+    /// `job_seconds`).
+    pub wasted_machine_s: f64,
+}
+
+impl JobStats {
+    /// Summarizes a set of jobs.
+    pub fn from_jobs(jobs: &[ClusterJob]) -> JobStats {
+        let mut times: Vec<f64> = jobs.iter().filter_map(|j| j.completion_time_s()).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("completion times are finite"));
+        let completed = times.len() as u64;
+        let mean = if times.is_empty() {
+            0.0
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        };
+        let p99 = if times.is_empty() {
+            0.0
+        } else {
+            times[((times.len() as f64 * 0.99).ceil() as usize).min(times.len()) - 1]
+        };
+        JobStats {
+            submitted: jobs.len() as u64,
+            completed,
+            kills: jobs.iter().map(|j| j.kills as u64).sum(),
+            completion_mean_s: mean,
+            completion_p99_s: p99,
+            wasted_jobs: jobs.iter().map(|j| j.wasted).sum(),
+            wasted_machine_s: jobs.iter().map(|j| j.wasted * j.spec.job_seconds).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhythm_workloads::BeKind;
+
+    fn job() -> ClusterJob {
+        ClusterJob::new(0, BeSpec::of(BeKind::Wordcount), 0.0)
+    }
+
+    #[test]
+    fn kill_rolls_back_to_checkpoint_boundary() {
+        let mut j = job();
+        // 0.37 done with 10% checkpoints: 0.30 banked, 0.07 wasted.
+        j.on_kill(0.37, 0.10);
+        assert!((j.checkpoint - 0.30).abs() < 1e-12, "{}", j.checkpoint);
+        assert!((j.wasted - 0.07).abs() < 1e-12, "{}", j.wasted);
+        assert_eq!(j.kills, 1);
+        assert_eq!(j.state, JobState::Queued);
+    }
+
+    #[test]
+    fn kill_never_loses_banked_progress() {
+        let mut j = job();
+        j.on_kill(0.37, 0.10);
+        // Second incarnation killed almost immediately: checkpoint holds.
+        j.on_kill(0.01, 0.10);
+        assert!((j.checkpoint - 0.30).abs() < 1e-12);
+        assert!((j.wasted - 0.08).abs() < 1e-12, "{}", j.wasted);
+    }
+
+    #[test]
+    fn zero_fraction_wastes_everything_unbanked() {
+        let mut j = job();
+        j.on_kill(0.5, 0.0);
+        assert_eq!(j.checkpoint, 0.0);
+        assert!((j.wasted - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_time_measured_from_submission() {
+        let mut j = ClusterJob::new(3, BeSpec::of(BeKind::CpuStress), 10.0);
+        j.on_complete(110.0);
+        assert_eq!(j.completion_time_s(), Some(100.0));
+        assert_eq!(j.state, JobState::Done);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut a = job();
+        a.on_kill(0.25, 0.10);
+        a.on_complete(50.0);
+        let mut b = ClusterJob::new(1, BeSpec::of(BeKind::Wordcount), 0.0);
+        b.on_complete(150.0);
+        let c = ClusterJob::new(2, BeSpec::of(BeKind::Wordcount), 0.0);
+        let s = JobStats::from_jobs(&[a, b, c]);
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.kills, 1);
+        assert!((s.completion_mean_s - 100.0).abs() < 1e-9);
+        assert!((s.wasted_jobs - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! Cluster-level BE scheduling above the per-machine controllers.
+//!
+//! The paper's controllers are strictly per-machine: each one watches its
+//! own Servpod and emits AllowBEGrowth / DisallowBEGrowth / StopBE (§3.5,
+//! Algorithm 2). What consumes those signals — the component that decides
+//! *where* BE jobs go, and what happens to work a StopBE throws away — is
+//! left to "the cluster scheduler". This crate is that scheduler:
+//!
+//! * [`job`] — BE jobs with checkpoint-fraction progress, so completion
+//!   time and wasted work are first-class, measurable outcomes;
+//! * [`queue`] — the shared deterministic FIFO backlog with
+//!   requeue-to-front for killed work;
+//! * [`placement`] — pluggable policies: round-robin, least-pressure, and
+//!   interference-score (predicted LC inflation via the calibrated
+//!   `rhythm-interference` sensitivities);
+//! * [`state`] — the N-machine cluster as service replicas, global
+//!   machine indexing, per-replica seed derivation;
+//! * [`runner`] — the parallel epoch-barrier runner: engines advance one
+//!   controller period at a time on crossbeam workers, cluster
+//!   bookkeeping happens single-threaded at the barrier, and results are
+//!   bit-identical for any worker-thread count;
+//! * [`metrics`] — merged cluster-wide EMU / utilization plus job
+//!   completion-time and wasted-work statistics.
+
+pub mod job;
+pub mod metrics;
+pub mod placement;
+pub mod queue;
+pub mod runner;
+pub mod state;
+
+pub use job::{ClusterJob, JobId, JobState, JobStats};
+pub use metrics::{machine_fingerprints, ClusterMetrics, ClusterOutcome};
+pub use placement::{CandidateMachine, PlacementPolicy, Placer};
+pub use queue::JobQueue;
+pub use runner::{compare_cluster, run_cluster};
+pub use state::{global_index, machine_ref, replica_seed, ClusterConfig, MachineRef};

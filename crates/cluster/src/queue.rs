@@ -1,0 +1,72 @@
+//! The shared BE job queue.
+//!
+//! A deterministic FIFO over [`JobId`]s. Fresh submissions join the back;
+//! work requeued after a StopBE kill re-enters at the *front* — the job
+//! already waited its turn once, and resuming killed work first keeps the
+//! wasted-work metric from compounding with extra queueing delay.
+
+use crate::job::JobId;
+use std::collections::VecDeque;
+
+/// Deterministic shared queue of jobs awaiting placement.
+#[derive(Clone, Debug, Default)]
+pub struct JobQueue {
+    q: VecDeque<JobId>,
+    requeues: u64,
+}
+
+impl JobQueue {
+    /// An empty queue.
+    pub fn new() -> JobQueue {
+        JobQueue::default()
+    }
+
+    /// Submits a fresh job (back of the queue).
+    pub fn submit(&mut self, id: JobId) {
+        self.q.push_back(id);
+    }
+
+    /// Requeues killed or withdrawn work (front of the queue).
+    pub fn requeue(&mut self, id: JobId) {
+        self.q.push_front(id);
+        self.requeues += 1;
+    }
+
+    /// Takes the next job to place.
+    pub fn pop(&mut self) -> Option<JobId> {
+        self.q.pop_front()
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Times `requeue` was called over the run.
+    pub fn requeue_count(&self) -> u64 {
+        self.requeues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_with_requeue_priority() {
+        let mut q = JobQueue::new();
+        q.submit(1);
+        q.submit(2);
+        assert_eq!(q.pop(), Some(1));
+        q.requeue(1);
+        assert_eq!(q.pop(), Some(1), "requeued work goes first");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.requeue_count(), 1);
+    }
+}

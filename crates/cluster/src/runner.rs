@@ -1,0 +1,457 @@
+//! The parallel epoch-barrier cluster runner.
+//!
+//! Replicas advance **independently** between controller ticks: nothing
+//! couples two engines except the dispatcher, and the dispatcher only
+//! acts on controller signals, which are emitted every 2 s of virtual
+//! time. So the runner executes all engines up to the next epoch boundary
+//! on a pool of crossbeam worker threads, then performs the cluster-level
+//! bookkeeping (progress sync, admission binding, kill/requeue,
+//! completion, placement) in a **single-threaded merge in fixed machine
+//! order**. Every engine owns independent splitmix-derived RNG streams
+//! and the merge never observes scheduling order, so the result is
+//! bit-identical for any worker-thread count — determinism is a property
+//! of the protocol, not of luck.
+//!
+//! Epoch protocol (epoch = controller period, paper: 2 s):
+//!
+//! 1. *Dispatch* — withdraw offers no controller consumed, then offer
+//!    queued jobs to machines signalling AllowBEGrowth, one per machine,
+//!    placed by the configured policy.
+//! 2. *Run* — every engine processes events up to the epoch end in
+//!    parallel (the controller tick at the boundary is included).
+//! 3. *Merge* — in replica order: sync BE progress to the boundary, bind
+//!    admissions to their offered jobs, roll killed jobs back to their
+//!    checkpoint and requeue them, and retire jobs whose progress
+//!    reached 1.0.
+
+use crate::job::{ClusterJob, JobState};
+use crate::metrics::{machine_fingerprints, ClusterMetrics, ClusterOutcome};
+use crate::placement::{CandidateMachine, Placer};
+use crate::queue::JobQueue;
+use crate::state::{global_index, machine_ref, replica_seed, ClusterConfig};
+use crossbeam::queue::SegQueue;
+use rhythm_controller::BeAction;
+use rhythm_core::experiment::{ControllerChoice, ExperimentConfig, ServiceContext};
+use rhythm_core::metrics::RunMetrics;
+use rhythm_core::runtime::Engine;
+use rhythm_machine::machine::BeInstanceId;
+use rhythm_sim::{SimDuration, SimTime};
+use rhythm_workloads::BeSpec;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// A sense-reversing spin barrier for the epoch boundary.
+///
+/// Epochs are microseconds of work, so parking workers in the kernel at
+/// every boundary (as `std::sync::Barrier` does) costs more than the
+/// epoch itself. Arrivals spin briefly and fall back to `yield_now` so
+/// an oversubscribed host still makes progress.
+struct SpinBarrier {
+    total: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> SpinBarrier {
+        SpinBarrier {
+            total,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        if self.total == 1 {
+            return;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // Last arriver: reset and release the cohort. Nobody can
+            // re-enter `wait` until the generation advances, so the
+            // relaxed reset cannot race a new arrival.
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 256 {
+                    std::hint::spin_loop();
+                } else {
+                    // Short spin budget: on an oversubscribed (or
+                    // single-core) host the peer needs this CPU to make
+                    // the progress we are waiting for.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Runs one cluster experiment: `cfg.machines` machines under `choice`,
+/// with the shared BE backlog dispatched by `cfg.policy`.
+///
+/// # Panics
+///
+/// Panics if `cfg.machines` is not a positive multiple of the service's
+/// Servpod count.
+pub fn run_cluster(
+    ctx: &ServiceContext,
+    choice: &ControllerChoice,
+    cfg: &ClusterConfig,
+) -> ClusterOutcome {
+    let pods = ctx.service.len();
+    assert!(
+        cfg.machines >= pods && cfg.machines.is_multiple_of(pods),
+        "cluster size {} must be a positive multiple of the service's {pods} Servpods",
+        cfg.machines
+    );
+    let replicas = cfg.machines / pods;
+    let managed = !matches!(choice, ControllerChoice::Solo);
+
+    let expt = ExperimentConfig {
+        bes: cfg.be_mix.clone(),
+        load: cfg.load.clone(),
+        duration_s: cfg.duration_s,
+        seed: cfg.seed,
+        record_timeline: false,
+        controller_period_ms: cfg.controller_period_ms,
+    };
+    let engines: Vec<Engine> = (0..replicas)
+        .map(|r| {
+            let mut ec = ctx.engine_config(choice, &expt);
+            ec.seed = replica_seed(cfg.seed, r);
+            ec.external_be = managed;
+            Engine::new(std::sync::Arc::clone(&ctx.service), ec)
+        })
+        .collect();
+
+    let mut jobs: Vec<ClusterJob> = (0..cfg.total_jobs())
+        .map(|i| {
+            ClusterJob::new(
+                i as u64,
+                cfg.be_mix[i % cfg.be_mix.len()].clone(),
+                0.0,
+            )
+        })
+        .collect();
+    let mut queue = JobQueue::new();
+    if managed {
+        for j in &jobs {
+            queue.submit(j.id);
+        }
+    }
+    let catalog = cfg.catalog();
+    let mut placer = Placer::new(cfg.policy, rhythm_interference::InterferenceModel::calibrated());
+    // Per-machine offered job and instance → job bindings.
+    let mut offered: Vec<Option<u64>> = vec![None; cfg.machines];
+    let mut bindings: BTreeMap<(usize, BeInstanceId), u64> = BTreeMap::new();
+
+    let epoch = SimDuration::from_millis(cfg.controller_period_ms.max(100));
+    let end = SimTime::ZERO + SimDuration::from_secs(cfg.duration_s);
+
+    // The worker pool persists across the whole run: an epoch is only
+    // microseconds of engine work, so spawning threads per epoch (or
+    // parking them in the kernel at each boundary) would dominate the
+    // run. Workers wait at a spin barrier; the main thread opens each
+    // epoch by publishing the target time and filling the task queue,
+    // helps drain it, and does the single-threaded merge while the
+    // workers spin at the next barrier.
+    let workers = cfg.threads.max(1).min(engines.len());
+    let slots: Vec<Mutex<Engine>> = engines.into_iter().map(Mutex::new).collect();
+    let barrier = SpinBarrier::new(workers);
+    let tasks: SegQueue<usize> = SegQueue::new();
+    let until = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+
+    crossbeam::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(|_| loop {
+                barrier.wait();
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                let target = SimTime::from_nanos(until.load(Ordering::Acquire));
+                while let Some(i) = tasks.pop() {
+                    slots[i].lock().expect("engine slot poisoned").run_until(target);
+                }
+                barrier.wait();
+            });
+        }
+
+        // Advances every engine to `target` on the pool. Each engine is
+        // popped by exactly one worker and engines share no state, so
+        // pop order cannot affect results.
+        let run_to = |target: SimTime| {
+            until.store(target.as_nanos(), Ordering::Release);
+            for i in 0..slots.len() {
+                tasks.push(i);
+            }
+            barrier.wait();
+            while let Some(i) = tasks.pop() {
+                slots[i].lock().expect("engine slot poisoned").run_until(target);
+            }
+            barrier.wait();
+        };
+
+        let mut t = SimTime::ZERO;
+        while t < end {
+            if managed {
+                let mut guards: Vec<MutexGuard<'_, Engine>> =
+                    slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
+                dispatch(
+                    &mut guards, &mut jobs, &mut queue, &mut placer, &mut offered, &catalog, pods,
+                    cfg.machines,
+                );
+            }
+            let next = (t + epoch).min(end);
+            run_to(next);
+            let mut guards: Vec<MutexGuard<'_, Engine>> =
+                slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
+            merge(
+                &mut guards,
+                &mut jobs,
+                &mut queue,
+                &mut bindings,
+                &mut offered,
+                next,
+                pods,
+                cfg.checkpoint_fraction,
+            );
+            drop(guards);
+            t = next;
+        }
+        // Drain in-flight requests past the end of the run.
+        run_to(SimTime::MAX);
+        done.store(true, Ordering::Release);
+        barrier.wait();
+    })
+    .expect("cluster worker panicked");
+
+    let outputs: Vec<_> = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("engine slot poisoned"))
+        .map(Engine::finish_run)
+        .collect();
+    let per_replica: Vec<RunMetrics> = outputs.iter().map(RunMetrics::from_output).collect();
+    let fingerprints = machine_fingerprints(&outputs);
+    let metrics = ClusterMetrics::merge(
+        cfg.machines,
+        &outputs,
+        &per_replica,
+        &jobs,
+        queue.requeue_count(),
+    );
+    ClusterOutcome {
+        metrics,
+        per_replica,
+        jobs,
+        fingerprints,
+    }
+}
+
+/// Runs Rhythm and Heracles on the same cluster (same seeds, same
+/// backlog) and returns both outcomes.
+pub fn compare_cluster(ctx: &ServiceContext, cfg: &ClusterConfig) -> (ClusterOutcome, ClusterOutcome) {
+    (
+        run_cluster(ctx, &ControllerChoice::Rhythm, cfg),
+        run_cluster(ctx, &ControllerChoice::Heracles, cfg),
+    )
+}
+
+/// Epoch step 1: withdraw unconsumed offers, then place queued jobs on
+/// machines signalling AllowBEGrowth (one offer per machine per epoch).
+///
+/// Runs on the main thread while the workers are parked at the epoch
+/// barrier, so the engine locks are uncontended.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    engines: &mut [MutexGuard<'_, Engine>],
+    jobs: &mut [ClusterJob],
+    queue: &mut JobQueue,
+    placer: &mut Placer,
+    offered: &mut [Option<u64>],
+    catalog: &BTreeMap<String, BeSpec>,
+    pods: usize,
+    machines: usize,
+) {
+    // Withdraw offers the controllers did not consume last epoch, in
+    // reverse global order so the requeue-to-front restores the original
+    // relative order.
+    for g in (0..machines).rev() {
+        if let Some(jid) = offered[g].take() {
+            let r = machine_ref(g, pods);
+            engines[r.replica].set_be_offer(r.pod, None);
+            jobs[jid as usize].state = JobState::Queued;
+            queue.requeue(jid);
+        }
+    }
+    // Offer queued jobs while eligible machines remain.
+    let mut taken = vec![false; machines];
+    let mut assignments: Vec<(usize, u64)> = Vec::new();
+    while let Some(jid) = queue.pop() {
+        let spec = jobs[jid as usize].spec.clone();
+        let pick = {
+            let candidates: Vec<CandidateMachine<'_>> = (0..machines)
+                .filter(|&g| !taken[g] && allows_growth(engines, g, pods))
+                .map(|g| {
+                    let r = machine_ref(g, pods);
+                    CandidateMachine {
+                        global: g,
+                        machine: engines[r.replica].machine(r.pod),
+                        component: &engines[r.replica].service().nodes[r.pod].component,
+                    }
+                })
+                .collect();
+            placer.choose(&spec, &candidates, catalog)
+        };
+        match pick {
+            Some(g) => {
+                taken[g] = true;
+                assignments.push((g, jid));
+            }
+            None => {
+                // No eligible machine left this epoch; put the job back.
+                queue.requeue(jid);
+                break;
+            }
+        }
+    }
+    for (g, jid) in assignments {
+        let r = machine_ref(g, pods);
+        offered[g] = Some(jid);
+        jobs[jid as usize].state = JobState::Offered(g);
+        let spec = jobs[jid as usize].spec.clone();
+        engines[r.replica].set_be_offer(r.pod, Some(spec));
+    }
+}
+
+/// A machine is eligible for new BE work when its controller currently
+/// allows growth (or has not ticked yet — the run just started).
+fn allows_growth(engines: &[MutexGuard<'_, Engine>], global: usize, pods: usize) -> bool {
+    let r = machine_ref(global, pods);
+    match engines[r.replica].last_action(r.pod) {
+        None | Some(BeAction::AllowBeGrowth) => true,
+        Some(_) => false,
+    }
+}
+
+/// Epoch step 3: the deterministic merge at the barrier.
+#[allow(clippy::too_many_arguments)]
+fn merge(
+    engines: &mut [MutexGuard<'_, Engine>],
+    jobs: &mut [ClusterJob],
+    queue: &mut JobQueue,
+    bindings: &mut BTreeMap<(usize, BeInstanceId), u64>,
+    offered: &mut [Option<u64>],
+    now: SimTime,
+    pods: usize,
+    ckpt_fraction: f64,
+) {
+    let now_s = now.as_secs_f64();
+    for (r, engine) in engines.iter_mut().enumerate() {
+        // Progress through the end of the epoch, with the allocations
+        // that were actually in force — after this, reading or mutating
+        // BE state cannot mis-attribute any fraction of the tick.
+        engine.sync_be_progress(now);
+        // Admissions: bind each new instance to the job offered to its
+        // machine.
+        for adm in engine.take_be_admissions() {
+            let g = global_index(r, adm.machine, pods);
+            if let Some(jid) = offered[g].take() {
+                bindings.insert((g, adm.instance), jid);
+                jobs[jid as usize].state = JobState::Running(g);
+                engine.set_be_offer(adm.machine, None);
+            }
+        }
+        // Kills: roll back to the checkpoint and requeue — unless the
+        // instance had in fact already finished the job by kill time.
+        for kill in engine.take_be_kills() {
+            let g = global_index(r, kill.machine, pods);
+            if let Some(jid) = bindings.remove(&(g, kill.instance)) {
+                let job = &mut jobs[jid as usize];
+                if job.total_progress(kill.progress) >= 1.0 {
+                    job.on_complete(now_s);
+                } else {
+                    job.on_kill(kill.progress, ckpt_fraction);
+                    queue.requeue(jid);
+                }
+            }
+        }
+        // Completions: retire bound instances whose job reached 1.0.
+        let lo = (global_index(r, 0, pods), BeInstanceId::MIN);
+        let hi = (global_index(r + 1, 0, pods), BeInstanceId::MIN);
+        let bound: Vec<(usize, BeInstanceId, u64)> = bindings
+            .range(lo..hi)
+            .map(|(&(g, inst), &jid)| (g, inst, jid))
+            .collect();
+        for (g, inst, jid) in bound {
+            let pod = machine_ref(g, pods).pod;
+            let done = engine.be_progress(pod, inst).unwrap_or(0.0);
+            if jobs[jid as usize].total_progress(done) >= 1.0 {
+                engine.remove_be(pod, inst);
+                jobs[jid as usize].on_complete(now_s);
+                bindings.remove(&(g, inst));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementPolicy;
+    use rhythm_workloads::{apps, BeKind};
+
+    fn ctx() -> ServiceContext {
+        ServiceContext::prepare(apps::solr(), &[BeSpec::of(BeKind::Wordcount)], 11)
+    }
+
+    fn small_cfg() -> ClusterConfig {
+        // Tiny jobs: with ~0.2-0.3 solo rate per instance, a 12-24 s
+        // (solo) job finishes well inside the 90 s window.
+        let mut c = ClusterConfig::new(2).with_scaled_jobs(0.02);
+        c.duration_s = 90;
+        c.jobs_per_machine = 3;
+        c.load = rhythm_workloads::LoadGen::constant(0.5);
+        c.policy = PlacementPolicy::RoundRobin;
+        c.threads = 1;
+        c
+    }
+
+    #[test]
+    fn cluster_completes_jobs_and_requests() {
+        let ctx = ctx();
+        let out = run_cluster(&ctx, &ControllerChoice::Rhythm, &small_cfg());
+        assert_eq!(out.metrics.machines, 2);
+        assert_eq!(out.metrics.replicas, 1);
+        assert!(out.metrics.completed_requests > 0);
+        assert_eq!(out.metrics.jobs.submitted, 6);
+        assert!(
+            out.metrics.jobs.completed > 0,
+            "scaled jobs finish inside the window: {:?}",
+            out.metrics.jobs
+        );
+        assert_eq!(out.fingerprints.len(), 2);
+    }
+
+    #[test]
+    fn solo_cluster_runs_no_jobs() {
+        let ctx = ctx();
+        let out = run_cluster(&ctx, &ControllerChoice::Solo, &small_cfg());
+        assert_eq!(out.metrics.jobs.completed, 0);
+        assert_eq!(out.metrics.be_throughput, 0.0);
+        assert!(out.metrics.completed_requests > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn odd_cluster_size_rejected() {
+        let ctx = ctx();
+        let mut c = small_cfg();
+        c.machines = 3; // solr has 2 Servpods
+        run_cluster(&ctx, &ControllerChoice::Rhythm, &c);
+    }
+}

@@ -1,0 +1,152 @@
+//! Cluster state model: N machines as replicas of the service.
+//!
+//! The paper deploys one Servpod per machine (§3.1), so an N-machine
+//! cluster hosts `N / service.len()` replicas of the LC service — the
+//! 4-machine testbed is exactly one e-commerce deployment. Each replica
+//! runs in its own engine (with its own load generator, controllers and
+//! RNG streams); the cluster layer addresses machines by a **global
+//! index** `replica * pods + pod`.
+
+use crate::placement::PlacementPolicy;
+use rhythm_workloads::{BeKind, BeSpec, LoadGen};
+use std::collections::BTreeMap;
+
+/// A global machine index resolved to its replica and Servpod.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineRef {
+    /// Which service replica (engine) the machine belongs to.
+    pub replica: usize,
+    /// Which Servpod (machine index within the engine).
+    pub pod: usize,
+}
+
+/// Resolves a global machine index (`pods` = Servpods per replica).
+pub fn machine_ref(global: usize, pods: usize) -> MachineRef {
+    MachineRef {
+        replica: global / pods,
+        pod: global % pods,
+    }
+}
+
+/// The global index of `(replica, pod)`.
+pub fn global_index(replica: usize, pod: usize, pods: usize) -> usize {
+    replica * pods + pod
+}
+
+/// An independent seed for one replica's engine (splitmix64 over the
+/// base seed, so replicas never share RNG streams and adding replicas
+/// never perturbs existing ones).
+pub fn replica_seed(base: u64, replica: usize) -> u64 {
+    let mut z = base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(replica as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Configuration of one cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Total machines; must be a multiple of the service's Servpod count.
+    pub machines: usize,
+    /// Worker threads for the parallel runner (results are identical for
+    /// any value ≥ 1).
+    pub threads: usize,
+    /// Placement policy of the BE dispatcher.
+    pub policy: PlacementPolicy,
+    /// Backlog size: jobs submitted at t=0 per machine.
+    pub jobs_per_machine: u32,
+    /// Checkpoint granularity: a killed job rolls back to the last
+    /// multiple of this fraction (0.1 = checkpoints every 10%).
+    pub checkpoint_fraction: f64,
+    /// Run length in virtual seconds.
+    pub duration_s: u64,
+    /// Offered load on every replica.
+    pub load: LoadGen,
+    /// Base seed.
+    pub seed: u64,
+    /// Controller period in ms — also the cluster epoch (paper: 2000).
+    pub controller_period_ms: u64,
+    /// BE workload mix the backlog cycles through.
+    pub be_mix: Vec<BeSpec>,
+}
+
+impl ClusterConfig {
+    /// A sensible default cluster of `machines` machines: 85% load (the
+    /// regime where Rhythm and Heracles diverge), a 10-minute run, the
+    /// paper's three real BE workloads, and 10% checkpoints.
+    pub fn new(machines: usize) -> ClusterConfig {
+        ClusterConfig {
+            machines,
+            threads: 4,
+            policy: PlacementPolicy::InterferenceScore,
+            jobs_per_machine: 4,
+            checkpoint_fraction: 0.1,
+            duration_s: 600,
+            load: LoadGen::constant(0.85),
+            seed: 42,
+            controller_period_ms: 2_000,
+            be_mix: vec![
+                BeSpec::of(BeKind::Wordcount),
+                BeSpec::of(BeKind::ImageClassify),
+                BeSpec::of(BeKind::Lstm),
+            ],
+        }
+    }
+
+    /// Scales every job in the mix to `factor` of its solo runtime
+    /// (pressure characteristics unchanged). Short runs use this so
+    /// completion-time distributions are observable inside the window.
+    pub fn with_scaled_jobs(mut self, factor: f64) -> ClusterConfig {
+        for spec in &mut self.be_mix {
+            spec.job_seconds = (spec.job_seconds * factor).max(1.0);
+        }
+        self
+    }
+
+    /// The workload catalog (by name) the engines and the placer share.
+    pub fn catalog(&self) -> BTreeMap<String, BeSpec> {
+        self.be_mix
+            .iter()
+            .map(|s| (s.name.clone(), s.clone()))
+            .collect()
+    }
+
+    /// Total jobs in the backlog.
+    pub fn total_jobs(&self) -> usize {
+        self.jobs_per_machine as usize * self.machines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_index_round_trips() {
+        for pods in [1usize, 2, 4] {
+            for g in 0..16 {
+                let r = machine_ref(g, pods);
+                assert_eq!(global_index(r.replica, r.pod, pods), g);
+                assert!(r.pod < pods);
+            }
+        }
+    }
+
+    #[test]
+    fn replica_seeds_differ() {
+        let seeds: Vec<u64> = (0..16).map(|r| replica_seed(7, r)).collect();
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                assert_ne!(seeds[i], seeds[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_jobs_shrink() {
+        let c = ClusterConfig::new(4).with_scaled_jobs(0.1);
+        for s in &c.be_mix {
+            assert!(s.job_seconds <= 120.0, "{} {}", s.name, s.job_seconds);
+        }
+    }
+}

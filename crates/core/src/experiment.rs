@@ -108,15 +108,17 @@ impl ServiceContext {
         }
     }
 
-    /// Runs one experiment cell.
-    pub fn run(&self, choice: ControllerChoice, cfg: &ExperimentConfig) -> (EngineOutput, RunMetrics) {
+    /// Builds the engine configuration one experiment cell runs with —
+    /// the single place the (choice, cell) → engine recipe lives, so
+    /// other frontends (the cluster runner) stamp out identical engines.
+    pub fn engine_config(&self, choice: &ControllerChoice, cfg: &ExperimentConfig) -> EngineConfig {
         let mut ecfg = EngineConfig::solo(0.0, cfg.duration_s, cfg.seed);
         ecfg.load = cfg.load.clone();
         ecfg.sla_ms = self.sla_ms;
         ecfg.record_timeline = cfg.record_timeline;
         ecfg.duration = SimDuration::from_secs(cfg.duration_s);
         ecfg.controller_period = SimDuration::from_millis(cfg.controller_period_ms.max(100));
-        match &choice {
+        match choice {
             ControllerChoice::Solo => {
                 ecfg.mode = ControlMode::Solo;
             }
@@ -127,6 +129,12 @@ impl ServiceContext {
                 };
             }
         }
+        ecfg
+    }
+
+    /// Runs one experiment cell.
+    pub fn run(&self, choice: ControllerChoice, cfg: &ExperimentConfig) -> (EngineOutput, RunMetrics) {
+        let ecfg = self.engine_config(&choice, cfg);
         let out = Engine::new(Arc::clone(&self.service), ecfg).run();
         let metrics = RunMetrics::from_output(&out);
         (out, metrics)

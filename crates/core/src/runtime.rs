@@ -11,10 +11,12 @@
 //! → slack → controller actions → BE grants.
 
 use crate::servpod::Deployment;
-use rhythm_controller::{AgentInputs, AgentStats, ControllerAgent, GrowthConfig, ThresholdPolicy, Thresholds};
+use rhythm_controller::{
+    AgentInputs, AgentStats, BeAction, ControllerAgent, GrowthConfig, ThresholdPolicy, Thresholds,
+};
 use rhythm_interference::{InterferenceModel, Pressure};
-use rhythm_machine::machine::BeState;
-use rhythm_machine::{Allocation, MachineSpec};
+use rhythm_machine::machine::{BeInstanceId, BeState};
+use rhythm_machine::{Allocation, Machine, MachineSpec};
 use rhythm_sim::arena::{Arena, Key as ReqKey};
 use rhythm_sim::{
     Calendar, Dist, LatencyHistogram, OnlineStats, ResolvedDist, SimDuration, SimRng, SimTime,
@@ -93,6 +95,12 @@ pub struct EngineConfig {
     /// backlog (the datacenter always has batch work); `Some(n)` lets at
     /// most `n` admissions happen per machine.
     pub be_queue_per_machine: Option<u32>,
+    /// Cluster mode: BE admission is driven by per-machine offers set
+    /// through [`Engine::set_be_offer`] instead of the internal
+    /// round-robin over `bes` — a machine only admits a new instance
+    /// while a cluster dispatcher has a job offered to it. `bes` still
+    /// provides the workload catalog for pressure lookups.
+    pub external_be: bool,
 }
 
 impl EngineConfig {
@@ -116,8 +124,43 @@ impl EngineConfig {
             capture_visits: false,
             record_timeline: false,
             be_queue_per_machine: None,
+            external_be: false,
         }
     }
+}
+
+/// One BE instance admitted on a machine during an epoch (reported to the
+/// cluster dispatcher through [`Engine::take_be_admissions`]).
+#[derive(Clone, Debug)]
+pub struct BeAdmission {
+    /// Machine (Servpod) index within this engine.
+    pub machine: usize,
+    /// Machine-local instance id.
+    pub instance: BeInstanceId,
+    /// BE workload name.
+    pub workload: String,
+}
+
+/// One BE instance killed by StopBE (reported to the cluster dispatcher
+/// through [`Engine::take_be_kills`] so the job can be requeued).
+#[derive(Clone, Debug)]
+pub struct BeKill {
+    /// Machine (Servpod) index within this engine.
+    pub machine: usize,
+    /// Machine-local instance id.
+    pub instance: BeInstanceId,
+    /// BE workload name.
+    pub workload: String,
+    /// Fraction of one job this instance had completed when killed.
+    pub progress: f64,
+}
+
+/// Per-instance progress ledger entry.
+#[derive(Clone, Debug)]
+struct BeProgress {
+    workload: String,
+    /// Fraction of one job completed (1.0 = a full job).
+    done: f64,
 }
 
 /// One point of the Figure 17 timeline (sampled every controller period).
@@ -339,6 +382,17 @@ pub struct Engine {
     last_integral_at: SimTime,
     measure_from: SimTime,
     end_at: SimTime,
+    // Cluster interface (epoch-stepped runs).
+    started: bool,
+    /// Per-machine job offered by the cluster dispatcher (external mode).
+    be_offers: Vec<Option<BeSpec>>,
+    /// Per-machine, per-instance progress, accrued over the *whole* run
+    /// (cluster job completion times include warm-up, unlike the
+    /// measured-window integrals above).
+    be_job_progress: Vec<BTreeMap<BeInstanceId, BeProgress>>,
+    last_progress_at: SimTime,
+    admitted_log: Vec<BeAdmission>,
+    killed_log: Vec<BeKill>,
 }
 
 impl Engine {
@@ -435,6 +489,12 @@ impl Engine {
             last_integral_at: measure_from,
             measure_from,
             end_at,
+            started: false,
+            be_offers: vec![None; n],
+            be_job_progress: (0..n).map(|_| BTreeMap::new()).collect(),
+            last_progress_at: SimTime::ZERO,
+            admitted_log: Vec::new(),
+            killed_log: Vec::new(),
             deployment,
             service,
             cfg,
@@ -443,19 +503,123 @@ impl Engine {
 
     /// Runs the simulation to completion and returns the outputs.
     pub fn run(mut self) -> EngineOutput {
+        self.start();
+        self.run_until(SimTime::MAX);
+        self.finish_run()
+    }
+
+    /// Prepares the run (schedules the first arrival and the periodic
+    /// events). Idempotent; called automatically by [`Engine::run`] and
+    /// [`Engine::run_until`].
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         self.setup();
-        while let Some((now, ev)) = self.cal.pop() {
+    }
+
+    /// Processes every event due at or before `until` (virtual time),
+    /// then returns. Drives epoch-stepped cluster execution: the caller
+    /// may inspect and mutate BE state between steps, then continue.
+    /// `run_until(SimTime::MAX)` drains the calendar completely.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start();
+        while let Some((now, ev)) = self.cal.pop_if_at_or_before(until) {
             match ev {
                 Ev::Arrive => self.on_arrive(now),
                 Ev::PhaseEnd { req, visit } => self.on_phase_end(now, req, visit),
                 Ev::Control => self.on_control(now),
                 Ev::Metrics => self.on_metrics(now),
             }
-            if self.cal.is_empty() {
-                break;
-            }
         }
-        self.finish()
+    }
+
+    /// True once every pending event has been processed.
+    pub fn is_drained(&self) -> bool {
+        self.started && self.cal.is_empty()
+    }
+
+    /// The engine's current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.cal.now()
+    }
+
+    /// The configured end of the run.
+    pub fn ends_at(&self) -> SimTime {
+        self.end_at
+    }
+
+    /// Number of machines (Servpods) this engine simulates.
+    pub fn machine_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The machine hosting Servpod `i`.
+    pub fn machine(&self, i: usize) -> &Machine {
+        &self.deployment.machines[i]
+    }
+
+    /// The service this engine runs.
+    pub fn service(&self) -> &ServiceSpec {
+        &self.service
+    }
+
+    /// The controller's most recent action on machine `i` (None in
+    /// Solo/Static modes or before the first control period).
+    pub fn last_action(&self, i: usize) -> Option<BeAction> {
+        self.agents[i].as_ref().and_then(|a| a.last_action())
+    }
+
+    /// Sets (or clears) the BE job the cluster dispatcher offers to
+    /// machine `i`. Only meaningful with [`EngineConfig::external_be`].
+    pub fn set_be_offer(&mut self, i: usize, offer: Option<BeSpec>) {
+        if let Some(spec) = &offer {
+            // The pressure model looks workloads up by name; make sure
+            // offered specs are resolvable even if absent from `cfg.bes`.
+            self.be_specs
+                .entry(spec.name.clone())
+                .or_insert_with(|| spec.clone());
+        }
+        self.be_offers[i] = offer;
+    }
+
+    /// The job currently offered to machine `i`.
+    pub fn be_offer(&self, i: usize) -> Option<&BeSpec> {
+        self.be_offers[i].as_ref()
+    }
+
+    /// Cumulative progress (fraction of one job) of BE instance
+    /// `instance` on machine `i`, accrued since its admission.
+    pub fn be_progress(&self, i: usize, instance: BeInstanceId) -> Option<f64> {
+        self.be_job_progress[i].get(&instance).map(|p| p.done)
+    }
+
+    /// Drains the log of BE admissions since the last call.
+    pub fn take_be_admissions(&mut self) -> Vec<BeAdmission> {
+        std::mem::take(&mut self.admitted_log)
+    }
+
+    /// Drains the log of StopBE kills since the last call.
+    pub fn take_be_kills(&mut self) -> Vec<BeKill> {
+        std::mem::take(&mut self.killed_log)
+    }
+
+    /// Accrues per-instance BE progress up to time `t` using the current
+    /// allocations. The cluster barrier MUST call this before mutating BE
+    /// state between epochs, so a job suspended or removed mid-tick does
+    /// not accrue (or lose) progress for the wrong fraction of the tick.
+    pub fn sync_be_progress(&mut self, t: SimTime) {
+        self.accrue_be_progress(t);
+    }
+
+    /// Removes BE instance `instance` from machine `i` without counting
+    /// it as a kill (the cluster calls this when a job *completes*).
+    /// Returns the instance's final progress fraction.
+    pub fn remove_be(&mut self, i: usize, instance: BeInstanceId) -> Option<f64> {
+        let p = self.be_job_progress[i].remove(&instance)?;
+        let _ = self.deployment.machines[i].kill_be(instance);
+        Some(p.done)
     }
 
     fn setup(&mut self) {
@@ -956,8 +1120,115 @@ impl Engine {
         }
     }
 
+    /// Accrues per-instance BE progress for the interval since the last
+    /// accrual, using the allocations in effect over that interval. Must
+    /// run *before* any BE mutation (controller tick, cluster barrier):
+    /// a job suspended mid-epoch accrues only for the fraction of the
+    /// tick it actually ran, never for the suspended remainder.
+    fn accrue_be_progress(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_progress_at).as_secs_f64();
+        if now > self.last_progress_at {
+            self.last_progress_at = now;
+        }
+        if dt <= 0.0 {
+            return;
+        }
+        for i in 0..self.deployment.machines.len() {
+            let m = &self.deployment.machines[i];
+            if m.running_be_count() == 0 {
+                continue;
+            }
+            let freq = m.be_dvfs.speed_fraction();
+            let total_demand: f64 = m
+                .be_instances()
+                .filter(|b| b.state == BeState::Running)
+                .filter_map(|b| self.be_specs.get(&b.workload))
+                .map(|s| s.net_demand_mbps)
+                .sum();
+            let net_frac = if total_demand > 0.0 {
+                (m.qdisc.be_limit_mbps() / total_demand).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            // Same solo-machine clamp as `be_rate`: if the machine's raw
+            // rates sum past 1.0, every instance is scaled down pro rata.
+            let mut total = 0.0;
+            let mut rates: Vec<(BeInstanceId, f64)> = Vec::new();
+            for b in m.be_instances().filter(|b| b.state == BeState::Running) {
+                let Some(s) = self.be_specs.get(&b.workload) else {
+                    continue;
+                };
+                let r = s.progress_rate(b.alloc.cores, freq, b.alloc.llc_ways, net_frac)
+                    / s.job_seconds;
+                total += r * s.job_seconds;
+                rates.push((b.id, r));
+            }
+            let scale = if total > 1.0 { 1.0 / total } else { 1.0 };
+            for (id, r) in rates {
+                let entry = self.be_job_progress[i].entry(id).or_insert_with(|| {
+                    // Instance admitted outside the reconcile path (e.g.
+                    // Static mode pre-population): start a ledger lazily.
+                    let workload = self.deployment.machines[i]
+                        .be_instances()
+                        .find(|b| b.id == id)
+                        .map(|b| b.workload.clone())
+                        .unwrap_or_default();
+                    BeProgress { workload, done: 0.0 }
+                });
+                entry.done += r * scale * dt;
+            }
+        }
+    }
+
+    /// Diffs each machine's live BE instances against the progress
+    /// ledger: new instances are logged as admissions, vanished ones as
+    /// kills (StopBE), carrying the progress accrued so far so the
+    /// cluster can roll the job back to its last checkpoint.
+    fn reconcile_be_ledger(&mut self) {
+        let Engine {
+            deployment,
+            be_job_progress,
+            admitted_log,
+            killed_log,
+            ..
+        } = self;
+        for (i, m) in deployment.machines.iter().enumerate() {
+            let ledger = &mut be_job_progress[i];
+            for b in m.be_instances() {
+                if let std::collections::btree_map::Entry::Vacant(slot) = ledger.entry(b.id) {
+                    slot.insert(BeProgress {
+                        workload: b.workload.clone(),
+                        done: 0.0,
+                    });
+                    admitted_log.push(BeAdmission {
+                        machine: i,
+                        instance: b.id,
+                        workload: b.workload.clone(),
+                    });
+                }
+            }
+            if ledger.len() != m.be_count() {
+                let dead: Vec<BeInstanceId> = ledger
+                    .keys()
+                    .filter(|id| !m.be_instances().any(|b| b.id == **id))
+                    .copied()
+                    .collect();
+                for id in dead {
+                    let p = ledger.remove(&id).expect("dead id came from ledger");
+                    killed_log.push(BeKill {
+                        machine: i,
+                        instance: id,
+                        workload: p.workload,
+                        progress: p.done,
+                    });
+                }
+            }
+        }
+    }
+
     fn on_metrics(&mut self, now: SimTime) {
         self.integrate(now);
+        self.accrue_be_progress(now);
         let next = now + SimDuration::from_secs(1);
         if next < self.end_at {
             self.cal.schedule(next, Ev::Metrics);
@@ -966,6 +1237,7 @@ impl Engine {
 
     fn on_control(&mut self, now: SimTime) {
         self.integrate(now);
+        self.accrue_be_progress(now);
         let load_fraction = self.measured_rate(now) / self.maxload;
         let tail_ms = self.tail.quantile(now, 0.99);
         let slack = ThresholdPolicy::slack(tail_ms, self.cfg.sla_ms);
@@ -982,6 +1254,7 @@ impl Engine {
                 nodes,
                 visits,
                 maxload,
+                be_offers,
                 ..
             } = self;
             let bes = &cfg.bes;
@@ -989,7 +1262,7 @@ impl Engine {
                 let Some(agent) = agents[i].as_mut() else {
                     continue;
                 };
-                if bes.is_empty() {
+                if bes.is_empty() && be_offers[i].is_none() {
                     continue;
                 }
                 let machine = &mut deployment.machines[i];
@@ -998,13 +1271,30 @@ impl Engine {
                 let ns = &nodes[i];
                 let lc_cpu = (ns.busy as f64 / ns.workers as f64).clamp(0.0, 1.0);
                 let be_cpu = if machine.running_be_count() > 0 { 1.0 } else { 0.0 };
-                // Round-robin the BE workload offered to the admission step.
-                let be = &bes[(machine.be_started as usize) % bes.len()];
-                // Scheduler interaction (§4): the machine only receives new
-                // BE jobs while the scheduler's queue for it is non-empty.
-                let pending = match cfg.be_queue_per_machine {
-                    None => true,
-                    Some(limit) => machine.be_started < limit as u64,
+                let (pending, be) = if cfg.external_be {
+                    // Cluster mode: the dispatcher offers at most one job
+                    // per machine per epoch; the machine's own queue is
+                    // empty unless an offer is posted.
+                    match &be_offers[i] {
+                        Some(spec) => (true, spec),
+                        None => {
+                            let Some(fallback) = bes.first() else {
+                                continue;
+                            };
+                            (false, fallback)
+                        }
+                    }
+                } else {
+                    // Round-robin the BE workload offered to the
+                    // admission step. Scheduler interaction (§4): the
+                    // machine only receives new BE jobs while the
+                    // scheduler's queue for it is non-empty.
+                    let be = &bes[(machine.be_started as usize) % bes.len()];
+                    let pending = match cfg.be_queue_per_machine {
+                        None => true,
+                        Some(limit) => machine.be_started < limit as u64,
+                    };
+                    (pending, be)
                 };
                 let inputs = AgentInputs {
                     load_fraction,
@@ -1018,6 +1308,7 @@ impl Engine {
                 agent.tick(machine, be, &inputs);
             }
         }
+        self.reconcile_be_ledger();
         self.refresh_inflations();
         if self.cfg.record_timeline && now >= self.measure_from {
             let point = TimelinePoint {
@@ -1049,9 +1340,13 @@ impl Engine {
         }
     }
 
-    fn finish(mut self) -> EngineOutput {
+    /// Consumes the engine and produces the run's outputs. With the
+    /// epoch-stepped API, call after `run_until` has drained the
+    /// calendar (or at whatever point the cluster ends the run).
+    pub fn finish_run(mut self) -> EngineOutput {
         let end = self.end_at;
         self.integrate(end);
+        self.accrue_be_progress(end);
         if !self.window_hist.is_empty() {
             self.worst_window_p99 = self.worst_window_p99.max(self.window_hist.p99());
         }
@@ -1244,6 +1539,64 @@ mod tests {
                 p.be_instances_avg
             );
         }
+    }
+
+    #[test]
+    fn suspended_instance_accrues_no_progress() {
+        // Hand-computed timeline for the progress ledger: one wordcount
+        // instance with a fixed 2-core / 2-way grant on machine 0 of an
+        // otherwise-solo run (no controller touches it).
+        //
+        //   t in [0.0, 3.5)  running   -> accrues at `rate`
+        //   t in [3.5, 5.0)  suspended -> accrues nothing
+        //   t in [5.0, 8.0)  running   -> accrues at `rate`
+        //
+        // so progress(5.0) = 3.5·rate and progress(8.0) = 6.5·rate. A
+        // ledger that accrues the whole tick for a job suspended mid-tick
+        // would report 4·rate and 7·rate instead.
+        let spec = BeSpec::of(BeKind::Wordcount);
+        let mut cfg = EngineConfig::solo(0.3, 30, 5);
+        cfg.bes = vec![spec.clone()];
+        let mut engine = Engine::new(apps::ecommerce(), cfg);
+        engine.start();
+        let m = &mut engine.deployment.machines[0];
+        let grant = Allocation {
+            cores: 2,
+            llc_ways: 2,
+            mem_mb: spec.mem_mb,
+            net_mbps: 0.0,
+            freq_mhz: m.be_dvfs.current_mhz(),
+        };
+        let freq = m.be_dvfs.speed_fraction();
+        // Wordcount is network-hungry and the solo machine grants BE no
+        // qdisc share, so the engine accrues at the 5% network floor.
+        let net_frac = (m.qdisc.be_limit_mbps() / spec.net_demand_mbps).clamp(0.0, 1.0);
+        let id = m.admit_be(&spec.name, grant).expect("machine has headroom");
+        let rate = spec.progress_rate(2, freq, 2, net_frac) / spec.job_seconds;
+        assert!(rate > 0.0);
+        let at = |s_ms: u64| SimTime::ZERO + SimDuration::from_millis(s_ms);
+
+        engine.run_until(at(3_000));
+        engine.sync_be_progress(at(3_500));
+        engine.deployment.machines[0].suspend_be(id).expect("suspend");
+        engine.run_until(at(5_000));
+        engine.sync_be_progress(at(5_000));
+        let at_5 = engine.be_progress(0, id).expect("ledger entry");
+        engine.deployment.machines[0].resume_be(id).expect("resume");
+        engine.run_until(at(8_000));
+        engine.sync_be_progress(at(8_000));
+        let at_8 = engine.be_progress(0, id).expect("ledger entry");
+
+        assert!(
+            (at_5 - 3.5 * rate).abs() < 1e-12,
+            "suspended fraction of the tick accrued: {at_5} vs {}",
+            3.5 * rate
+        );
+        assert!(
+            (at_8 - 6.5 * rate).abs() < 1e-12,
+            "resume accrual off: {at_8} vs {}",
+            6.5 * rate
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! ```
 
 pub use rhythm_analyzer as analyzer;
+pub use rhythm_cluster as cluster;
 pub use rhythm_controller as controller;
 pub use rhythm_core as core;
 pub use rhythm_interference as interference;
@@ -39,6 +40,10 @@ pub use rhythm_workloads as workloads;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use rhythm_analyzer::{contributions, find_loadlimit, find_slacklimits, SojournProfile};
+    pub use rhythm_cluster::{
+        compare_cluster, run_cluster, ClusterConfig, ClusterMetrics, ClusterOutcome,
+        PlacementPolicy,
+    };
     pub use rhythm_controller::{BeAction, ThresholdPolicy, Thresholds};
     pub use rhythm_core::experiment::{ControllerChoice, ExperimentConfig, ServiceContext};
     pub use rhythm_core::{

@@ -1,0 +1,80 @@
+//! Thread-count invariance of the cluster runner.
+//!
+//! The epoch-barrier protocol promises bit-reproducible results for any
+//! worker count: machines advance in parallel between barriers, but all
+//! cross-machine decisions (dispatch, admission binding, kill handling,
+//! job retirement) happen single-threaded in replica order at the
+//! barrier. This test runs randomly drawn (seed, size, policy, load,
+//! controller) cells with 1 worker and with 8 and requires the merged
+//! metrics and the per-machine fingerprints to match exactly.
+//!
+//! The vendored proptest shim runs a fixed 64 cases — far too many for
+//! whole-cluster runs — so the cells are drawn from a splitmix64 stream
+//! instead (still deterministic, still random-looking).
+
+use rhythm::prelude::*;
+use std::sync::OnceLock;
+
+/// Profiling a service (Algorithm 1) is by far the most expensive step,
+/// so every case shares one prepared context.
+fn ctx() -> &'static ServiceContext {
+    static CTX: OnceLock<ServiceContext> = OnceLock::new();
+    CTX.get_or_init(|| ServiceContext::prepare(apps::solr(), &[BeSpec::of(BeKind::Wordcount)], 11))
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn cell(seed: u64, machines: usize, policy: PlacementPolicy, load: f64, threads: usize) -> ClusterConfig {
+    let mut c = ClusterConfig::new(machines).with_scaled_jobs(0.02);
+    c.duration_s = 60;
+    c.jobs_per_machine = 3;
+    c.load = LoadGen::constant(load);
+    c.policy = policy;
+    c.seed = seed;
+    c.threads = threads;
+    c
+}
+
+#[test]
+fn cluster_runs_are_thread_count_invariant() {
+    let policies = [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::LeastPressure,
+        PlacementPolicy::InterferenceScore,
+    ];
+    let mut stream = 0xC1A5_7E12u64;
+    for case in 0..5 {
+        let seed = splitmix(&mut stream);
+        let replicas = 1 + (splitmix(&mut stream) % 2) as usize;
+        let policy = policies[(splitmix(&mut stream) % 3) as usize];
+        let load = 0.3 + (splitmix(&mut stream) % 512) as f64 / 1024.0;
+        let choice = if splitmix(&mut stream).is_multiple_of(2) {
+            ControllerChoice::Rhythm
+        } else {
+            ControllerChoice::Heracles
+        };
+        let machines = replicas * ctx().service.len();
+
+        let serial = run_cluster(ctx(), &choice, &cell(seed, machines, policy, load, 1));
+        let parallel = run_cluster(ctx(), &choice, &cell(seed, machines, policy, load, 8));
+
+        assert_eq!(
+            serial.fingerprints, parallel.fingerprints,
+            "case {case}: per-machine fingerprints diverged (seed={seed}, {policy:?}, {choice:?})"
+        );
+        let a = serde_json::to_string(&serial.metrics).unwrap();
+        let b = serde_json::to_string(&parallel.metrics).unwrap();
+        assert_eq!(
+            a, b,
+            "case {case}: merged metrics diverged (seed={seed}, {policy:?}, {choice:?})"
+        );
+        // The parallel run must actually have done the work.
+        assert!(serial.metrics.completed_requests > 0, "case {case}: empty run");
+    }
+}
