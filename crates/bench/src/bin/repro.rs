@@ -4,17 +4,23 @@
 //! repro <id> [...]   # one or more of: tab1 fig02 fig06 fig07 fig08
 //!                    #   fig09 fig10 fig11 fig12 fig13 fig14
 //!                    #   fig15 fig16 fig17 fig18 tab2 ablate cluster
+//!                    #   trace
 //! repro all          # everything (reuses the Figures 9-14 grid)
+//! repro --json <id>  # print the JSON document instead of text tables
 //! ```
 //!
 //! Results are written as text + JSON under `results/` (override with
-//! `RHYTHM_RESULTS_DIR`).
+//! `RHYTHM_RESULTS_DIR`). `--json` switches stdout from the text tables
+//! to the same JSON document written to `results/<id>.json`.
 
 use rhythm_bench as b;
 use std::time::Instant;
 
 fn main() -> std::io::Result<()> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_mode = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    b::report::set_json_stdout(json_mode);
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "tab1",
@@ -29,6 +35,7 @@ fn main() -> std::io::Result<()> {
             "fig18+tab2",
             "ablate",
             "cluster",
+            "trace",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -76,6 +83,7 @@ fn main() -> std::io::Result<()> {
             "tab2" => b::fig18::run_tab2()?,
             "ablate" => b::ablate::run()?,
             "cluster" => b::cluster::run()?,
+            "trace" => b::trace::run()?,
             other => {
                 eprintln!("[repro] unknown experiment id: {other}");
                 std::process::exit(2);

@@ -89,7 +89,11 @@ pub fn run(quick: bool) -> std::io::Result<PathBuf> {
         "cells": cells,
         "speedup_8_threads_vs_1": speedup_8v1,
     });
-    let out_path = repo_root().join("BENCH_cluster.json");
+    let dir = std::env::var("RHYTHM_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| repo_root());
+    std::fs::create_dir_all(&dir)?;
+    let out_path = dir.join("BENCH_cluster.json");
     let mut f = std::fs::File::create(&out_path)?;
     serde_json::to_writer_pretty(&mut f, &report)?;
     f.flush()?;

@@ -2,8 +2,10 @@
 //!
 //! Times `Engine::run` wall-clock over a fixed seeded grid of scenarios
 //! (solo / static / managed, low and high load, chain and fan-out
-//! services) and writes `BENCH_engine.json` at the repo root, so every
-//! perf PR records a comparable number. The committed
+//! services) and writes `BENCH_engine.json` at the repo root (override
+//! the output directory with `RHYTHM_BENCH_DIR` to keep the working
+//! tree clean), so every perf PR records a comparable number. The
+//! committed
 //! `BENCH_engine_baseline.json` holds the numbers recorded by this same
 //! harness *before* the hot-path rework; when present, the current run
 //! embeds it and reports the speedup.
@@ -98,6 +100,15 @@ fn repo_root() -> PathBuf {
         .join("..")
 }
 
+/// Where `BENCH_*.json` is written: `RHYTHM_BENCH_DIR` when set (so CI
+/// and local `--quick` runs keep the working tree clean), otherwise the
+/// repo root where the baselines are committed.
+fn bench_dir() -> PathBuf {
+    std::env::var("RHYTHM_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| repo_root())
+}
+
 /// Pulls a `"key": <number>` value out of JSON text written by this
 /// harness. The key must be unique in the document (ours are); this
 /// avoids needing a JSON parser for the one number we read back.
@@ -153,12 +164,15 @@ pub fn run(quick: bool, record_baseline: bool) -> std::io::Result<PathBuf> {
         "aggregate: {total_requests} requests in {total_best_ms:.1} ms -> {aggregate_rps:.0} simulated req/s"
     );
 
-    let root = repo_root();
-    let baseline_path = root.join("BENCH_engine_baseline.json");
+    let dir = bench_dir();
+    let baseline_path = dir.join("BENCH_engine_baseline.json");
     let baseline_rps = if record_baseline {
         None
     } else {
+        // The baseline is committed at the repo root; an overridden
+        // bench dir takes precedence if it holds its own copy.
         std::fs::read_to_string(&baseline_path)
+            .or_else(|_| std::fs::read_to_string(repo_root().join("BENCH_engine_baseline.json")))
             .ok()
             .and_then(|s| extract_number(&s, "aggregate_sim_req_per_sec"))
     };
@@ -195,10 +209,11 @@ pub fn run(quick: bool, record_baseline: bool) -> std::io::Result<PathBuf> {
     let out_path = if record_baseline {
         baseline_path
     } else if quick {
-        root.join("BENCH_engine_quick.json")
+        dir.join("BENCH_engine_quick.json")
     } else {
-        root.join("BENCH_engine.json")
+        dir.join("BENCH_engine.json")
     };
+    std::fs::create_dir_all(out_path.parent().unwrap_or(&dir))?;
     let mut f = std::fs::File::create(&out_path)?;
     serde_json::to_writer_pretty(&mut f, &report)?;
     f.flush()?;

@@ -18,6 +18,7 @@
 //! | [`tab1`] | Table 1 — workload inventory |
 //! | [`ablate`] | ablations of Rhythm's design choices |
 //! | [`cluster`] | cluster-level Rhythm vs Heracles at N ∈ {4, 16, 64} |
+//! | [`trace`] | telemetry exports of one traced cluster run |
 
 pub mod ablate;
 pub mod cluster;
@@ -34,6 +35,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod report;
 pub mod tab1;
+pub mod trace;
 
 pub use report::Report;
 

@@ -4,6 +4,23 @@ use serde::Serialize;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, [`Report::finish`] prints the machine-readable JSON
+/// document to stdout instead of the text table (the files written
+/// under the results directory are unchanged). Toggled by the `repro`
+/// binary's `--json` flag.
+static JSON_STDOUT: AtomicBool = AtomicBool::new(false);
+
+/// Switches stdout reporting between text tables (default) and JSON.
+pub fn set_json_stdout(on: bool) {
+    JSON_STDOUT.store(on, Ordering::Relaxed);
+}
+
+/// Whether stdout reporting is in JSON mode.
+pub fn json_stdout() -> bool {
+    JSON_STDOUT.load(Ordering::Relaxed)
+}
 
 /// A report for one experiment id.
 pub struct Report {
@@ -54,7 +71,8 @@ impl Report {
     }
 
     /// Writes `<id>.txt` and `<id>.json` under the results directory and
-    /// prints the text to stdout.
+    /// prints the text (or, in [`set_json_stdout`] mode, the JSON
+    /// document) to stdout.
     pub fn finish<T: Serialize>(self, data: &T) -> std::io::Result<()> {
         fs::create_dir_all(&self.out_dir)?;
         let txt = self.out_dir.join(format!("{}.txt", self.id));
@@ -63,8 +81,13 @@ impl Report {
         let mut f = fs::File::create(&json)?;
         serde_json::to_writer_pretty(&mut f, data)?;
         writeln!(f)?;
-        print!("{}", self.text);
-        println!("[written {} and {}]", txt.display(), json.display());
+        if json_stdout() {
+            let doc = serde_json::to_string_pretty(data)?;
+            println!("{doc}");
+        } else {
+            print!("{}", self.text);
+            println!("[written {} and {}]", txt.display(), json.display());
+        }
         Ok(())
     }
 }

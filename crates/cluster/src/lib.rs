@@ -30,7 +30,7 @@ pub mod runner;
 pub mod state;
 
 pub use job::{ClusterJob, JobId, JobState, JobStats};
-pub use metrics::{machine_fingerprints, ClusterMetrics, ClusterOutcome};
+pub use metrics::{machine_fingerprints, ClusterMetrics, ClusterOutcome, ClusterTelemetry};
 pub use placement::{CandidateMachine, PlacementPolicy, Placer};
 pub use queue::JobQueue;
 pub use runner::{compare_cluster, run_cluster};

@@ -6,6 +6,7 @@ use crate::job::{ClusterJob, JobStats};
 use rhythm_core::metrics::RunMetrics;
 use rhythm_core::runtime::EngineOutput;
 use rhythm_sim::LatencyHistogram;
+use rhythm_telemetry::{TailPoint, TelemetryOutput};
 use serde::{Deserialize, Serialize};
 
 /// Merged metrics of one cluster run.
@@ -101,6 +102,52 @@ pub struct ClusterOutcome {
     /// of the machine's measured aggregates, for bit-reproducibility
     /// checks across thread counts.
     pub fingerprints: Vec<u64>,
+    /// Telemetry collected by every replica plus the merged cluster tail
+    /// series (`None` when [`crate::ClusterConfig::telemetry`] was
+    /// disabled).
+    pub telemetry: Option<ClusterTelemetry>,
+}
+
+/// Telemetry of one cluster run: every replica's recorder/audit/tail
+/// output plus the cluster-wide tail series merged at the epoch
+/// barriers. All exports are byte-identical for any worker-thread count.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterTelemetry {
+    /// Per-replica telemetry, in replica order.
+    pub replicas: Vec<TelemetryOutput>,
+    /// The cluster-wide tail series: per-engine epoch windows merged in
+    /// fixed replica order at each barrier.
+    pub cluster_tail: Vec<TailPoint>,
+}
+
+impl ClusterTelemetry {
+    /// The full JSONL export (meta line, per-replica events/audit/tail,
+    /// merged cluster tail).
+    pub fn export_jsonl(&self) -> String {
+        rhythm_telemetry::export_jsonl(&self.replicas, &self.cluster_tail)
+    }
+
+    /// The Chrome-trace (`chrome://tracing`) export.
+    pub fn chrome_trace(&self) -> String {
+        rhythm_telemetry::chrome_trace(&self.replicas)
+    }
+
+    /// The human-readable decision report, one line per controller
+    /// action, replicas in order.
+    pub fn why_report(&self) -> String {
+        let mut out = String::new();
+        for (r, rep) in self.replicas.iter().enumerate() {
+            for rec in &rep.audit {
+                out.push_str(&format!("[replica {r}] {}\n", rec.why()));
+            }
+        }
+        out
+    }
+
+    /// Total controller decisions in the audit trail.
+    pub fn decisions(&self) -> usize {
+        self.replicas.iter().map(|r| r.audit.len()).sum()
+    }
 }
 
 /// FNV-1a over per-machine output aggregates. Two runs that processed

@@ -25,7 +25,7 @@
 //!    reached 1.0.
 
 use crate::job::{ClusterJob, JobState};
-use crate::metrics::{machine_fingerprints, ClusterMetrics, ClusterOutcome};
+use crate::metrics::{machine_fingerprints, ClusterMetrics, ClusterOutcome, ClusterTelemetry};
 use crate::placement::{CandidateMachine, Placer};
 use crate::queue::JobQueue;
 use crate::state::{global_index, machine_ref, replica_seed, ClusterConfig};
@@ -35,7 +35,8 @@ use rhythm_core::experiment::{ControllerChoice, ExperimentConfig, ServiceContext
 use rhythm_core::metrics::RunMetrics;
 use rhythm_core::runtime::Engine;
 use rhythm_machine::machine::BeInstanceId;
-use rhythm_sim::{SimDuration, SimTime};
+use rhythm_sim::{LatencyHistogram, SimDuration, SimTime};
+use rhythm_telemetry::TailPoint;
 use rhythm_workloads::BeSpec;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -124,6 +125,7 @@ pub fn run_cluster(
             let mut ec = ctx.engine_config(choice, &expt);
             ec.seed = replica_seed(cfg.seed, r);
             ec.external_be = managed;
+            ec.telemetry = cfg.telemetry;
             Engine::new(std::sync::Arc::clone(&ctx.service), ec)
         })
         .collect();
@@ -160,6 +162,7 @@ pub fn run_cluster(
     // helps drain it, and does the single-threaded merge while the
     // workers spin at the next barrier.
     let workers = cfg.threads.max(1).min(engines.len());
+    let mut cluster_tail: Vec<TailPoint> = Vec::new();
     let slots: Vec<Mutex<Engine>> = engines.into_iter().map(Mutex::new).collect();
     let barrier = SpinBarrier::new(workers);
     let tasks: SegQueue<usize> = SegQueue::new();
@@ -197,6 +200,7 @@ pub fn run_cluster(
         };
 
         let mut t = SimTime::ZERO;
+        let mut epoch_idx: u32 = 0;
         while t < end {
             if managed {
                 let mut guards: Vec<MutexGuard<'_, Engine>> =
@@ -220,7 +224,31 @@ pub fn run_cluster(
                 pods,
                 cfg.checkpoint_fraction,
             );
+            // Telemetry at the barrier, always single-threaded and in
+            // fixed replica order: mark the epoch in every recorder, then
+            // merge the per-engine tail windows the controller tick just
+            // closed into one cluster-wide point. Independent of worker
+            // scheduling, so exports are bit-identical for any `threads`.
+            if cfg.telemetry.enabled {
+                for g in guards.iter_mut() {
+                    g.note_epoch(epoch_idx, next);
+                }
+                // The engines' control tick does not fire at the very end
+                // of the run (`next == end`): no new window closed there.
+                if cfg.telemetry.tail && next < end {
+                    let mut merged = LatencyHistogram::new();
+                    for g in guards.iter() {
+                        merged.merge(g.telemetry().tail.last_window());
+                    }
+                    cluster_tail.push(TailPoint::from_window(
+                        &merged,
+                        next.as_secs_f64(),
+                        ctx.sla_ms,
+                    ));
+                }
+            }
             drop(guards);
+            epoch_idx += 1;
             t = next;
         }
         // Drain in-flight requests past the end of the run.
@@ -230,7 +258,7 @@ pub fn run_cluster(
     })
     .expect("cluster worker panicked");
 
-    let outputs: Vec<_> = slots
+    let mut outputs: Vec<_> = slots
         .into_iter()
         .map(|m| m.into_inner().expect("engine slot poisoned"))
         .map(Engine::finish_run)
@@ -244,11 +272,19 @@ pub fn run_cluster(
         &jobs,
         queue.requeue_count(),
     );
+    let telemetry = cfg.telemetry.enabled.then(|| ClusterTelemetry {
+        replicas: outputs
+            .iter_mut()
+            .map(|o| o.telemetry.take().unwrap_or_default())
+            .collect(),
+        cluster_tail,
+    });
     ClusterOutcome {
         metrics,
         per_replica,
         jobs,
         fingerprints,
+        telemetry,
     }
 }
 

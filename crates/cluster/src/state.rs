@@ -8,6 +8,7 @@
 //! index** `replica * pods + pod`.
 
 use crate::placement::PlacementPolicy;
+use rhythm_telemetry::TelemetryConfig;
 use rhythm_workloads::{BeKind, BeSpec, LoadGen};
 use std::collections::BTreeMap;
 
@@ -68,6 +69,9 @@ pub struct ClusterConfig {
     pub controller_period_ms: u64,
     /// BE workload mix the backlog cycles through.
     pub be_mix: Vec<BeSpec>,
+    /// Telemetry collection in every replica engine (plus the merged
+    /// cluster tail series). Disabled by default.
+    pub telemetry: TelemetryConfig,
 }
 
 impl ClusterConfig {
@@ -90,6 +94,7 @@ impl ClusterConfig {
                 BeSpec::of(BeKind::ImageClassify),
                 BeSpec::of(BeKind::Lstm),
             ],
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 

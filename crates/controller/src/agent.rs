@@ -9,8 +9,26 @@ use crate::action::BeAction;
 use crate::policy::ThresholdPolicy;
 use crate::subcontrollers::{cut_step, frequency_step, grow_step, network_step, GrowthConfig};
 use rhythm_machine::Machine;
+use rhythm_sim::SimTime;
+use rhythm_telemetry::{
+    per_mille_i16, per_mille_u16, ActionCode, AdjustKind, BeSnapshot, EventKind, FlightRecorder,
+};
 use rhythm_workloads::BeSpec;
 use serde::{Deserialize, Serialize};
+
+/// Captures a machine's BE population and resource envelope for the
+/// telemetry audit trail.
+pub fn be_snapshot(machine: &Machine) -> BeSnapshot {
+    let alloc = machine.be_total_alloc();
+    BeSnapshot {
+        instances: machine.be_count() as u32,
+        running: machine.running_be_count() as u32,
+        cores: alloc.cores,
+        llc_ways: alloc.llc_ways,
+        freq_mhz: machine.be_dvfs.current_mhz(),
+        net_mbps: machine.qdisc.be_limit_mbps() as u32,
+    }
+}
 
 /// Monitoring inputs for one control period.
 #[derive(Clone, Copy, Debug)]
@@ -84,6 +102,32 @@ impl ControllerAgent {
     ///
     /// Returns the action taken.
     pub fn tick(&mut self, machine: &mut Machine, be: &BeSpec, inputs: &AgentInputs) -> BeAction {
+        let mut rec = FlightRecorder::disabled();
+        self.tick_traced(machine, be, inputs, &mut rec, SimTime::ZERO, 0).0
+    }
+
+    /// [`ControllerAgent::tick`] with flight-recorder instrumentation:
+    /// records the decision (with per-mille load/slack) and one `Adjust`
+    /// event per resource dimension the subcontrollers moved.
+    ///
+    /// Returns the action plus the BE snapshots before and after
+    /// actuation (both zeroed when `rec` is disabled, so the untraced
+    /// path does no extra work).
+    pub fn tick_traced(
+        &mut self,
+        machine: &mut Machine,
+        be: &BeSpec,
+        inputs: &AgentInputs,
+        rec: &mut FlightRecorder,
+        now: SimTime,
+        machine_idx: u16,
+    ) -> (BeAction, BeSnapshot, BeSnapshot) {
+        let traced = rec.is_enabled();
+        let before = if traced {
+            be_snapshot(machine)
+        } else {
+            BeSnapshot::default()
+        };
         let slack = ThresholdPolicy::slack(inputs.tail_ms, inputs.sla_ms);
         let action = self.policy.decide(inputs.load_fraction, slack);
         self.stats.ticks += 1;
@@ -121,7 +165,39 @@ impl ControllerAgent {
         }
         self.last_action = Some(action);
         debug_assert!(machine.check_invariants().is_ok());
-        action
+        if !traced {
+            return (action, before, before);
+        }
+        let after = be_snapshot(machine);
+        rec.record(
+            now,
+            EventKind::Action {
+                machine: machine_idx,
+                action: ActionCode::from_severity(action.severity()),
+                load_pm: per_mille_u16(inputs.load_fraction),
+                slack_pm: per_mille_i16(slack),
+            },
+        );
+        let deltas = [
+            (AdjustKind::BeInstances, before.running, after.running),
+            (AdjustKind::BeCores, before.cores, after.cores),
+            (AdjustKind::BeLlcWays, before.llc_ways, after.llc_ways),
+            (AdjustKind::BeFreqMhz, before.freq_mhz, after.freq_mhz),
+            (AdjustKind::BeNetMbps, before.net_mbps, after.net_mbps),
+        ];
+        for (kind, was, now_v) in deltas {
+            if was != now_v {
+                rec.record(
+                    now,
+                    EventKind::Adjust {
+                        machine: machine_idx,
+                        kind,
+                        value: now_v as i32,
+                    },
+                );
+            }
+        }
+        (action, before, after)
     }
 }
 
@@ -257,6 +333,65 @@ mod tests {
         let after = m.be_total_alloc();
         assert_eq!(before.cores, after.cores);
         assert_eq!(before.llc_ways, after.llc_ways);
+    }
+
+    #[test]
+    fn traced_tick_records_action_then_adjustments() {
+        let mut m = machine();
+        let mut a = agent();
+        let wc = BeSpec::of(BeKind::Wordcount);
+        let mut rec = FlightRecorder::new(64);
+        let (act, before, after) = a.tick_traced(
+            &mut m,
+            &wc,
+            &inputs(0.3, 100.0),
+            &mut rec,
+            SimTime::from_secs(2),
+            7,
+        );
+        assert_eq!(act, BeAction::AllowBeGrowth);
+        assert!(after.running > before.running, "growth admitted an instance");
+        let evs = rec.events();
+        assert!(
+            matches!(
+                evs[0].kind,
+                EventKind::Action {
+                    machine: 7,
+                    action: ActionCode::AllowBeGrowth,
+                    ..
+                }
+            ),
+            "{evs:?}"
+        );
+        assert!(
+            evs[1..]
+                .iter()
+                .all(|e| matches!(e.kind, EventKind::Adjust { machine: 7, .. })),
+            "{evs:?}"
+        );
+        assert!(evs.len() >= 2, "growth moved at least one dimension");
+    }
+
+    #[test]
+    fn untraced_tick_matches_traced_decision() {
+        let wc = BeSpec::of(BeKind::Wordcount);
+        let (mut m1, mut a1) = (machine(), agent());
+        let (mut m2, mut a2) = (machine(), agent());
+        let mut rec = FlightRecorder::new(16);
+        for step in [(0.3, 100.0), (0.95, 100.0), (0.3, 245.0), (0.3, 300.0)] {
+            let plain = a1.tick(&mut m1, &wc, &inputs(step.0, step.1));
+            let (traced, _, _) = a2.tick_traced(
+                &mut m2,
+                &wc,
+                &inputs(step.0, step.1),
+                &mut rec,
+                SimTime::ZERO,
+                0,
+            );
+            assert_eq!(plain, traced);
+        }
+        assert_eq!(m1.be_count(), m2.be_count());
+        assert_eq!(a1.stats().action_counts, a2.stats().action_counts);
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub mod policy;
 pub mod subcontrollers;
 
 pub use action::BeAction;
-pub use agent::{AgentInputs, AgentStats, ControllerAgent};
+pub use agent::{be_snapshot, AgentInputs, AgentStats, ControllerAgent};
 pub use policy::{ThresholdPolicy, Thresholds};
 pub use subcontrollers::GrowthConfig;

@@ -22,6 +22,9 @@ use rhythm_sim::{
     Calendar, Dist, LatencyHistogram, OnlineStats, ResolvedDist, SimDuration, SimRng, SimTime,
     TailWindow,
 };
+use rhythm_telemetry::{
+    ActionCode, AuditRecord, EventKind, Telemetry, TelemetryConfig, TelemetryOutput, Trigger,
+};
 use rhythm_tracer::capture::VisitNode;
 use rhythm_workloads::{BeSpec, LoadGen, ServiceSpec};
 use serde::{Deserialize, Serialize};
@@ -101,6 +104,10 @@ pub struct EngineConfig {
     /// while a cluster dispatcher has a job offered to it. `bes` still
     /// provides the workload catalog for pressure lookups.
     pub external_be: bool,
+    /// Telemetry collection (flight recorder, audit trail, tail series).
+    /// Disabled by default; the hot path then pays one branch per
+    /// instrumentation point.
+    pub telemetry: TelemetryConfig,
 }
 
 impl EngineConfig {
@@ -125,6 +132,7 @@ impl EngineConfig {
             record_timeline: false,
             be_queue_per_machine: None,
             external_be: false,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -235,6 +243,8 @@ pub struct EngineOutput {
     pub visit_trees: Vec<VisitNode>,
     /// Figure 17 timeline (if `record_timeline`).
     pub timeline: Vec<TimelinePoint>,
+    /// Collected telemetry (if [`EngineConfig::telemetry`] was enabled).
+    pub telemetry: Option<TelemetryOutput>,
 }
 
 impl EngineOutput {
@@ -393,6 +403,11 @@ pub struct Engine {
     last_progress_at: SimTime,
     admitted_log: Vec<BeAdmission>,
     killed_log: Vec<BeKill>,
+    /// Telemetry bundle (recorder + audit trail + tail series).
+    telemetry: Telemetry,
+    /// Per-node `(count, sum)` snapshots of `sojourn_stats` at the last
+    /// control tick, for hot-Servpod attribution in the audit trail.
+    audit_prev: Vec<(u64, f64)>,
 }
 
 impl Engine {
@@ -495,6 +510,8 @@ impl Engine {
             last_progress_at: SimTime::ZERO,
             admitted_log: Vec::new(),
             killed_log: Vec::new(),
+            telemetry: Telemetry::new(cfg.telemetry),
+            audit_prev: vec![(0, 0.0); n],
             deployment,
             service,
             cfg,
@@ -613,6 +630,19 @@ impl Engine {
         self.accrue_be_progress(t);
     }
 
+    /// The telemetry collected so far (recorder, audit trail, tail
+    /// series). Enabled via [`EngineConfig::telemetry`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Records a cluster epoch-boundary marker at virtual time `at`
+    /// (called by the cluster runner at each barrier; a no-op when the
+    /// recorder is disabled).
+    pub fn note_epoch(&mut self, epoch: u32, at: SimTime) {
+        self.telemetry.recorder.record(at, EventKind::Epoch { epoch });
+    }
+
     /// Removes BE instance `instance` from machine `i` without counting
     /// it as a kill (the cluster calls this when a job *completes*).
     /// Returns the instance's final progress fraction.
@@ -663,7 +693,11 @@ impl Engine {
         }
         self.refresh_inflations();
         self.schedule_next_arrival(SimTime::ZERO);
-        if matches!(self.cfg.mode, ControlMode::Managed { .. }) {
+        // The telemetry tail series closes its windows on the control
+        // tick, so telemetry keeps the tick alive even in uncontrolled
+        // (Solo/Static) runs. The tick consumes no randomness, so this
+        // cannot perturb the simulated trajectory.
+        if matches!(self.cfg.mode, ControlMode::Managed { .. }) || self.telemetry.enabled() {
             self.cal
                 .schedule(SimTime::ZERO + self.cfg.controller_period, Ev::Control);
         }
@@ -761,6 +795,7 @@ impl Engine {
             used,
         });
         self.count_arrival(now);
+        self.telemetry.recorder.record(now, EventKind::RequestAdmitted);
         self.enqueue_phase(now, req, 0);
         self.schedule_next_arrival(now);
     }
@@ -943,6 +978,15 @@ impl Engine {
         let r = self.requests.remove(req).expect("request exists");
         let latency_ms = now.saturating_since(r.arrival).as_millis_f64();
         self.tail.record(now, latency_ms);
+        if self.telemetry.enabled() {
+            self.telemetry.recorder.record(
+                now,
+                EventKind::RequestCompleted {
+                    latency_us: (latency_ms * 1000.0) as u32,
+                },
+            );
+            self.telemetry.record_latency(latency_ms);
+        }
         self.completed_total += 1;
         if now < self.measure_from {
             self.visit_pool.push(r.visits);
@@ -1184,12 +1228,13 @@ impl Engine {
     /// ledger: new instances are logged as admissions, vanished ones as
     /// kills (StopBE), carrying the progress accrued so far so the
     /// cluster can roll the job back to its last checkpoint.
-    fn reconcile_be_ledger(&mut self) {
+    fn reconcile_be_ledger(&mut self, now: SimTime) {
         let Engine {
             deployment,
             be_job_progress,
             admitted_log,
             killed_log,
+            telemetry,
             ..
         } = self;
         for (i, m) in deployment.machines.iter().enumerate() {
@@ -1200,6 +1245,13 @@ impl Engine {
                         workload: b.workload.clone(),
                         done: 0.0,
                     });
+                    telemetry.recorder.record(
+                        now,
+                        EventKind::BeAdmitted {
+                            machine: i as u16,
+                            instance: b.id as u32,
+                        },
+                    );
                     admitted_log.push(BeAdmission {
                         machine: i,
                         instance: b.id,
@@ -1215,6 +1267,14 @@ impl Engine {
                     .collect();
                 for id in dead {
                     let p = ledger.remove(&id).expect("dead id came from ledger");
+                    telemetry.recorder.record(
+                        now,
+                        EventKind::BeKilled {
+                            machine: i as u16,
+                            instance: id as u32,
+                            progress_pct: (p.done * 100.0) as u8,
+                        },
+                    );
                     killed_log.push(BeKill {
                         machine: i,
                         instance: id,
@@ -1242,6 +1302,26 @@ impl Engine {
         let tail_ms = self.tail.quantile(now, 0.99);
         let slack = ThresholdPolicy::slack(tail_ms, self.cfg.sla_ms);
         let n = self.nodes.len();
+        // Hot-Servpod attribution for the audit trail: the stage with the
+        // highest mean sojourn over requests completed since the last
+        // tick (delta of the cumulative per-node statistics).
+        let audit_on = self.telemetry.audit_enabled();
+        let mut hot: Option<(u32, f64)> = None;
+        if audit_on {
+            for i in 0..n {
+                let count = self.sojourn_stats[i].count();
+                let sum = self.sojourn_stats[i].mean() * count as f64;
+                let (prev_count, prev_sum) = self.audit_prev[i];
+                self.audit_prev[i] = (count, sum);
+                let dc = count - prev_count;
+                if dc > 0 {
+                    let mean = (sum - prev_sum) / dc as f64;
+                    if hot.is_none_or(|(_, m)| mean > m) {
+                        hot = Some((i as u32, mean));
+                    }
+                }
+            }
+        }
         {
             // Borrow fields separately so the agents can mutate the
             // machines while the specs stay borrowed from the config —
@@ -1255,6 +1335,7 @@ impl Engine {
                 visits,
                 maxload,
                 be_offers,
+                telemetry,
                 ..
             } = self;
             let bes = &cfg.bes;
@@ -1305,10 +1386,34 @@ impl Engine {
                     be_cpu_util: be_cpu,
                     be_jobs_pending: pending,
                 };
-                agent.tick(machine, be, &inputs);
+                let (action, before, after) =
+                    agent.tick_traced(machine, be, &inputs, &mut telemetry.recorder, now, i as u16);
+                if audit_on {
+                    let th = agent.policy().thresholds();
+                    telemetry.audit.push(AuditRecord {
+                        t_s: now.as_secs_f64(),
+                        machine: i as u32,
+                        pod: service.nodes[i].component.name.clone(),
+                        action: ActionCode::from_severity(action.severity()),
+                        trigger: Trigger::classify(load_fraction, slack, th.loadlimit, th.slacklimit),
+                        load: load_fraction,
+                        loadlimit: th.loadlimit,
+                        slack,
+                        slacklimit: th.slacklimit,
+                        tail_ms,
+                        sla_ms: cfg.sla_ms,
+                        hot_pod: hot.map(|(idx, _)| idx),
+                        hot_pod_name: hot
+                            .map(|(idx, _)| service.nodes[idx as usize].component.name.clone())
+                            .unwrap_or_default(),
+                        hot_pod_ms: hot.map(|(_, ms)| ms).unwrap_or(0.0),
+                        before,
+                        after,
+                    });
+                }
             }
         }
-        self.reconcile_be_ledger();
+        self.reconcile_be_ledger(now);
         self.refresh_inflations();
         if self.cfg.record_timeline && now >= self.measure_from {
             let point = TimelinePoint {
@@ -1333,6 +1438,9 @@ impl Engine {
                 be_throughput: (0..n).map(|i| self.be_rate(i)).collect(),
             };
             self.timeline.push(point);
+        }
+        if self.telemetry.tail_enabled() {
+            self.telemetry.tail.tick(now.as_secs_f64(), self.cfg.sla_ms);
         }
         let next = now + self.cfg.controller_period;
         if next < self.end_at {
@@ -1363,6 +1471,13 @@ impl Engine {
                 sojourn_stats: self.sojourn_stats[i],
             })
             .collect();
+        let pod_names: Vec<String> = self
+            .service
+            .nodes
+            .iter()
+            .map(|n| n.component.name.clone())
+            .collect();
+        let telemetry = self.telemetry.into_output(pod_names);
         EngineOutput {
             completed: self.completed,
             completed_total: self.completed_total,
@@ -1376,6 +1491,7 @@ impl Engine {
             sojourns: self.sojourns,
             visit_trees: self.visit_trees,
             timeline: self.timeline,
+            telemetry,
         }
     }
 }

@@ -276,6 +276,36 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "different layouts")]
+    fn merge_min_value_mismatch_panics() {
+        let mut a = LatencyHistogram::with_error(0.01, 1e-3);
+        let b = LatencyHistogram::with_error(0.01, 1.0);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn clamps_below_min_value() {
+        let mut h = LatencyHistogram::with_error(0.01, 1e-3);
+        h.record(1e-9);
+        h.record(5e-4);
+        assert_eq!(h.count(), 2);
+        // Both land in bucket 0: indistinguishable, reported at or below
+        // min_value (the quantile is capped by the true max).
+        assert!(h.quantile(1.0) <= 1e-3 + 1e-12);
+        assert_eq!(h.max(), 5e-4);
+    }
+
+    #[test]
+    fn quantile_p_is_clamped() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(1.5), h.quantile(1.0));
+    }
+
+    #[test]
     fn reset_clears() {
         let mut h = LatencyHistogram::new();
         h.record(10.0);

@@ -1,0 +1,299 @@
+//! The decision audit trail: one record per controller tick, carrying
+//! everything Algorithm 2 looked at when it chose an action.
+
+use crate::event::ActionCode;
+use serde_json::Value;
+
+/// The BE population and resource envelope on a machine, captured before
+/// and after a controller tick so the audit trail shows what each action
+/// actually moved.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BeSnapshot {
+    /// BE instances present (running + suspended).
+    pub instances: u32,
+    /// BE instances currently running.
+    pub running: u32,
+    /// Cores granted to BE.
+    pub cores: u32,
+    /// LLC ways granted to BE.
+    pub llc_ways: u32,
+    /// BE core frequency in MHz.
+    pub freq_mhz: u32,
+    /// BE network bandwidth ceiling in Mbit/s.
+    pub net_mbps: u32,
+}
+
+impl BeSnapshot {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("instances".into(), Value::UInt(self.instances as u64)),
+            ("running".into(), Value::UInt(self.running as u64)),
+            ("cores".into(), Value::UInt(self.cores as u64)),
+            ("llc_ways".into(), Value::UInt(self.llc_ways as u64)),
+            ("freq_mhz".into(), Value::UInt(self.freq_mhz as u64)),
+            ("net_mbps".into(), Value::UInt(self.net_mbps as u64)),
+        ])
+    }
+}
+
+/// Which branch of Algorithm 2 fired. Mirrors the decision ladder in
+/// `rhythm-controller`'s `ThresholdPolicy::decide`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// `slack < 0`: the measured tail already exceeds the SLA.
+    SlaViolated,
+    /// `load > loadlimit`: LC load is above the safe co-location point.
+    LoadAboveLimit,
+    /// `slack < slacklimit / 2`: headroom is less than half the limit.
+    SlackBelowHalfLimit,
+    /// `slack < slacklimit`: headroom is below the limit.
+    SlackBelowLimit,
+    /// None of the above: comfortable headroom.
+    ComfortableSlack,
+}
+
+impl Trigger {
+    /// Classifies a measurement against the thresholds, mirroring the
+    /// ladder in Algorithm 2 (same order, same comparisons).
+    pub fn classify(load: f64, slack: f64, loadlimit: f64, slacklimit: f64) -> Trigger {
+        if slack < 0.0 {
+            Trigger::SlaViolated
+        } else if load > loadlimit {
+            Trigger::LoadAboveLimit
+        } else if slack < slacklimit / 2.0 {
+            Trigger::SlackBelowHalfLimit
+        } else if slack < slacklimit {
+            Trigger::SlackBelowLimit
+        } else {
+            Trigger::ComfortableSlack
+        }
+    }
+
+    /// Snake-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Trigger::SlaViolated => "sla_violated",
+            Trigger::LoadAboveLimit => "load_above_limit",
+            Trigger::SlackBelowHalfLimit => "slack_below_half_limit",
+            Trigger::SlackBelowLimit => "slack_below_limit",
+            Trigger::ComfortableSlack => "comfortable_slack",
+        }
+    }
+
+    /// The condition as a human-readable comparison.
+    pub fn explain(self, load: f64, slack: f64, loadlimit: f64, slacklimit: f64) -> String {
+        match self {
+            Trigger::SlaViolated => {
+                format!("slack {slack:.3} < 0 (tail already beyond the SLA)")
+            }
+            Trigger::LoadAboveLimit => {
+                format!("load {load:.3} > loadlimit {loadlimit:.3}")
+            }
+            Trigger::SlackBelowHalfLimit => {
+                format!(
+                    "slack {slack:.3} < slacklimit/2 {:.3}",
+                    slacklimit / 2.0
+                )
+            }
+            Trigger::SlackBelowLimit => {
+                format!("slack {slack:.3} < slacklimit {slacklimit:.3}")
+            }
+            Trigger::ComfortableSlack => {
+                format!("slack {slack:.3} >= slacklimit {slacklimit:.3}")
+            }
+        }
+    }
+}
+
+/// One controller decision with its full causal context.
+#[derive(Clone, Debug)]
+pub struct AuditRecord {
+    /// Virtual time of the tick, in seconds.
+    pub t_s: f64,
+    /// Machine (Servpod host) index within the engine.
+    pub machine: u32,
+    /// Name of the Servpod hosted on the machine.
+    pub pod: String,
+    /// The action Algorithm 2 chose.
+    pub action: ActionCode,
+    /// Which branch of the ladder fired.
+    pub trigger: Trigger,
+    /// Measured LC load fraction.
+    pub load: f64,
+    /// The `loadlimit` threshold in force.
+    pub loadlimit: f64,
+    /// Measured slack, `(SLA - tail) / SLA`.
+    pub slack: f64,
+    /// The `slacklimit` threshold in force.
+    pub slacklimit: f64,
+    /// Measured tail latency in ms.
+    pub tail_ms: f64,
+    /// The SLA target in ms.
+    pub sla_ms: f64,
+    /// Index of the Servpod stage with the highest mean sojourn over the
+    /// last tick, if any request finished in the window.
+    pub hot_pod: Option<u32>,
+    /// Name of that stage (empty when `hot_pod` is `None`).
+    pub hot_pod_name: String,
+    /// Mean sojourn of that stage over the last tick, in ms.
+    pub hot_pod_ms: f64,
+    /// BE population before the action was applied.
+    pub before: BeSnapshot,
+    /// BE population after subcontrollers reacted.
+    pub after: BeSnapshot,
+}
+
+impl AuditRecord {
+    /// Renders the record as a JSON object. `replica` tags which engine
+    /// it came from in cluster exports.
+    pub fn to_value(&self, replica: usize) -> Value {
+        let mut pairs: Vec<(String, Value)> = vec![
+            ("type".into(), Value::String("audit".into())),
+            ("replica".into(), Value::UInt(replica as u64)),
+            ("t_s".into(), Value::Float(self.t_s)),
+            ("machine".into(), Value::UInt(self.machine as u64)),
+            ("pod".into(), Value::String(self.pod.clone())),
+            ("action".into(), Value::String(self.action.name().into())),
+            ("trigger".into(), Value::String(self.trigger.name().into())),
+            ("load".into(), Value::Float(self.load)),
+            ("loadlimit".into(), Value::Float(self.loadlimit)),
+            ("slack".into(), Value::Float(self.slack)),
+            ("slacklimit".into(), Value::Float(self.slacklimit)),
+            ("tail_ms".into(), Value::Float(self.tail_ms)),
+            ("sla_ms".into(), Value::Float(self.sla_ms)),
+        ];
+        match self.hot_pod {
+            Some(idx) => {
+                pairs.push(("hot_pod".into(), Value::UInt(idx as u64)));
+                pairs.push((
+                    "hot_pod_name".into(),
+                    Value::String(self.hot_pod_name.clone()),
+                ));
+                pairs.push(("hot_pod_ms".into(), Value::Float(self.hot_pod_ms)));
+            }
+            None => pairs.push(("hot_pod".into(), Value::Null)),
+        }
+        pairs.push(("before".into(), self.before.to_value()));
+        pairs.push(("after".into(), self.after.to_value()));
+        Value::Object(pairs)
+    }
+
+    /// One human-readable "why did Rhythm do X at t=Y" line.
+    pub fn why(&self) -> String {
+        let mut line = format!(
+            "t={:.1}s machine {} ({}): {} because {}; tail {:.2}ms vs SLA {:.0}ms",
+            self.t_s,
+            self.machine,
+            self.pod,
+            self.action.name(),
+            self.trigger
+                .explain(self.load, self.slack, self.loadlimit, self.slacklimit),
+            self.tail_ms,
+            self.sla_ms,
+        );
+        if let Some(idx) = self.hot_pod {
+            line.push_str(&format!(
+                "; hottest stage {} ({}) mean sojourn {:.2}ms",
+                idx, self.hot_pod_name, self.hot_pod_ms
+            ));
+        }
+        line.push_str(&format!(
+            "; BE {}→{} instances ({}→{} running, {}→{} cores)",
+            self.before.instances,
+            self.after.instances,
+            self.before.running,
+            self.after.running,
+            self.before.cores,
+            self.after.cores,
+        ));
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_mirrors_algorithm_2_ladder() {
+        let (ll, sl) = (0.6, 0.1);
+        assert_eq!(Trigger::classify(0.3, -0.01, ll, sl), Trigger::SlaViolated);
+        assert_eq!(Trigger::classify(0.7, 0.2, ll, sl), Trigger::LoadAboveLimit);
+        assert_eq!(
+            Trigger::classify(0.3, 0.04, ll, sl),
+            Trigger::SlackBelowHalfLimit
+        );
+        assert_eq!(
+            Trigger::classify(0.3, 0.08, ll, sl),
+            Trigger::SlackBelowLimit
+        );
+        assert_eq!(
+            Trigger::classify(0.3, 0.5, ll, sl),
+            Trigger::ComfortableSlack
+        );
+        // SLA violation wins even under heavy load, as in the paper.
+        assert_eq!(Trigger::classify(0.9, -0.5, ll, sl), Trigger::SlaViolated);
+    }
+
+    fn sample() -> AuditRecord {
+        AuditRecord {
+            t_s: 12.0,
+            machine: 2,
+            pod: "front".into(),
+            action: ActionCode::CutBe,
+            trigger: Trigger::SlackBelowHalfLimit,
+            load: 0.41,
+            loadlimit: 0.6,
+            slack: 0.03,
+            slacklimit: 0.1,
+            tail_ms: 97.0,
+            sla_ms: 100.0,
+            hot_pod: Some(1),
+            hot_pod_name: "search".into(),
+            hot_pod_ms: 8.4,
+            before: BeSnapshot {
+                instances: 6,
+                running: 6,
+                cores: 8,
+                llc_ways: 6,
+                freq_mhz: 2600,
+                net_mbps: 4000,
+            },
+            after: BeSnapshot {
+                instances: 6,
+                running: 6,
+                cores: 6,
+                llc_ways: 4,
+                freq_mhz: 2200,
+                net_mbps: 3000,
+            },
+        }
+    }
+
+    #[test]
+    fn why_line_names_action_and_cause() {
+        let why = sample().why();
+        assert!(why.contains("CutBE"), "{why}");
+        assert!(why.contains("slacklimit/2"), "{why}");
+        assert!(why.contains("hottest stage 1 (search)"), "{why}");
+        assert!(why.contains("8→6 cores"), "{why}");
+    }
+
+    #[test]
+    fn json_includes_thresholds_and_snapshots() {
+        let s = serde_json::to_string(&sample().to_value(0)).unwrap();
+        assert!(s.contains("\"type\":\"audit\""), "{s}");
+        assert!(s.contains("\"loadlimit\":0.6"), "{s}");
+        assert!(s.contains("\"trigger\":\"slack_below_half_limit\""), "{s}");
+        assert!(s.contains("\"before\":{\"instances\":6"), "{s}");
+    }
+
+    #[test]
+    fn missing_hot_pod_serialises_as_null() {
+        let mut r = sample();
+        r.hot_pod = None;
+        let s = serde_json::to_string(&r.to_value(0)).unwrap();
+        assert!(s.contains("\"hot_pod\":null"), "{s}");
+        assert!(!s.contains("hot_pod_name"), "{s}");
+    }
+}

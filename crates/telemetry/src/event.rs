@@ -1,0 +1,283 @@
+//! The compact event vocabulary of the flight recorder.
+//!
+//! Events are `Copy` and fixed-size (16 bytes) so the ring buffer can
+//! hold them inline with no per-record heap traffic; anything that needs
+//! a string (pod names, workload names) is resolved at export time from
+//! the index tables carried by [`crate::TelemetryOutput`].
+
+use serde_json::Value;
+
+/// One recorded event: a virtual timestamp plus the payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time in nanoseconds.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The controller decision, mirrored from `rhythm-controller`'s
+/// `BeAction` by its severity code so this crate stays a leaf
+/// dependency. Ordering matches `BeAction::severity`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActionCode {
+    /// Subcontrollers may add BE jobs and grow their resources.
+    AllowBeGrowth,
+    /// Freeze the BE population.
+    DisallowBeGrowth,
+    /// Reduce part of the BE resources.
+    CutBe,
+    /// Pause all running BE jobs.
+    SuspendBe,
+    /// Kill all BE jobs (the SLA is already violated).
+    StopBe,
+}
+
+impl ActionCode {
+    /// Maps a `BeAction::severity()` code (0..=4) back to the action.
+    ///
+    /// # Panics
+    ///
+    /// Panics on codes above 4.
+    pub fn from_severity(code: u8) -> ActionCode {
+        match code {
+            0 => ActionCode::AllowBeGrowth,
+            1 => ActionCode::DisallowBeGrowth,
+            2 => ActionCode::CutBe,
+            3 => ActionCode::SuspendBe,
+            4 => ActionCode::StopBe,
+            other => panic!("unknown action severity {other}"),
+        }
+    }
+
+    /// The severity code (matches `BeAction::severity`).
+    pub fn severity(self) -> u8 {
+        match self {
+            ActionCode::AllowBeGrowth => 0,
+            ActionCode::DisallowBeGrowth => 1,
+            ActionCode::CutBe => 2,
+            ActionCode::SuspendBe => 3,
+            ActionCode::StopBe => 4,
+        }
+    }
+
+    /// The paper's name for the action.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionCode::AllowBeGrowth => "AllowBEGrowth",
+            ActionCode::DisallowBeGrowth => "DisallowBEGrowth",
+            ActionCode::CutBe => "CutBE",
+            ActionCode::SuspendBe => "SuspendBE",
+            ActionCode::StopBe => "StopBE",
+        }
+    }
+}
+
+/// Which resource dimension a subcontroller adjusted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdjustKind {
+    /// Live BE instance count changed (admission / kill / resume).
+    BeInstances,
+    /// Total BE cores changed (CPU subcontroller).
+    BeCores,
+    /// BE LLC ways changed (CAT subcontroller).
+    BeLlcWays,
+    /// BE frequency point changed, in MHz (power subcontroller).
+    BeFreqMhz,
+    /// BE bandwidth ceiling changed, in Mbit/s (network subcontroller).
+    BeNetMbps,
+}
+
+impl AdjustKind {
+    /// Snake-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdjustKind::BeInstances => "be_instances",
+            AdjustKind::BeCores => "be_cores",
+            AdjustKind::BeLlcWays => "be_llc_ways",
+            AdjustKind::BeFreqMhz => "be_freq_mhz",
+            AdjustKind::BeNetMbps => "be_net_mbps",
+        }
+    }
+}
+
+/// The event payload. Fields are packed small on purpose: per-mille
+/// load/slack and microsecond latencies keep every variant in 8 bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request entered the service.
+    RequestAdmitted,
+    /// A request completed end-to-end.
+    RequestCompleted {
+        /// End-to-end latency in microseconds (saturating).
+        latency_us: u32,
+    },
+    /// A BE instance was admitted on a machine.
+    BeAdmitted {
+        /// Machine (Servpod) index within the engine.
+        machine: u16,
+        /// Machine-local instance id.
+        instance: u32,
+    },
+    /// A BE instance was killed by StopBE.
+    BeKilled {
+        /// Machine (Servpod) index within the engine.
+        machine: u16,
+        /// Machine-local instance id.
+        instance: u32,
+        /// Progress at kill time, in percent of one job (saturating).
+        progress_pct: u8,
+    },
+    /// The controller took an action.
+    Action {
+        /// Machine (Servpod) index within the engine.
+        machine: u16,
+        /// The decision.
+        action: ActionCode,
+        /// Measured load fraction in per-mille (saturating).
+        load_pm: u16,
+        /// Measured slack in per-mille (saturating).
+        slack_pm: i16,
+    },
+    /// A subcontroller moved a resource dimension.
+    Adjust {
+        /// Machine (Servpod) index within the engine.
+        machine: u16,
+        /// Which dimension.
+        kind: AdjustKind,
+        /// The new value of that dimension.
+        value: i32,
+    },
+    /// A cluster epoch barrier was crossed.
+    Epoch {
+        /// Zero-based epoch index.
+        epoch: u32,
+    },
+}
+
+impl EventKind {
+    /// Snake-case discriminant used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RequestAdmitted => "request_admitted",
+            EventKind::RequestCompleted { .. } => "request_completed",
+            EventKind::BeAdmitted { .. } => "be_admitted",
+            EventKind::BeKilled { .. } => "be_killed",
+            EventKind::Action { .. } => "action",
+            EventKind::Adjust { .. } => "adjust",
+            EventKind::Epoch { .. } => "epoch",
+        }
+    }
+}
+
+/// Saturating per-mille encoding of a fraction (used by the Action
+/// event).
+pub fn per_mille_u16(x: f64) -> u16 {
+    (x * 1000.0).clamp(0.0, u16::MAX as f64) as u16
+}
+
+/// Saturating signed per-mille encoding (slack can be negative).
+pub fn per_mille_i16(x: f64) -> i16 {
+    (x * 1000.0).clamp(i16::MIN as f64, i16::MAX as f64) as i16
+}
+
+impl Event {
+    /// Renders the event as a JSON object. `replica` tags which engine
+    /// the event came from in cluster exports.
+    pub fn to_value(&self, replica: usize) -> Value {
+        let mut pairs: Vec<(String, Value)> = vec![
+            ("type".into(), Value::String("event".into())),
+            ("replica".into(), Value::UInt(replica as u64)),
+            ("t_ns".into(), Value::UInt(self.t_ns)),
+            ("kind".into(), Value::String(self.kind.name().into())),
+        ];
+        match self.kind {
+            EventKind::RequestAdmitted => {}
+            EventKind::RequestCompleted { latency_us } => {
+                pairs.push(("latency_us".into(), Value::UInt(latency_us as u64)));
+            }
+            EventKind::BeAdmitted { machine, instance } => {
+                pairs.push(("machine".into(), Value::UInt(machine as u64)));
+                pairs.push(("instance".into(), Value::UInt(instance as u64)));
+            }
+            EventKind::BeKilled {
+                machine,
+                instance,
+                progress_pct,
+            } => {
+                pairs.push(("machine".into(), Value::UInt(machine as u64)));
+                pairs.push(("instance".into(), Value::UInt(instance as u64)));
+                pairs.push(("progress_pct".into(), Value::UInt(progress_pct as u64)));
+            }
+            EventKind::Action {
+                machine,
+                action,
+                load_pm,
+                slack_pm,
+            } => {
+                pairs.push(("machine".into(), Value::UInt(machine as u64)));
+                pairs.push(("action".into(), Value::String(action.name().into())));
+                pairs.push(("load_pm".into(), Value::UInt(load_pm as u64)));
+                pairs.push(("slack_pm".into(), Value::Int(slack_pm as i64)));
+            }
+            EventKind::Adjust {
+                machine,
+                kind,
+                value,
+            } => {
+                pairs.push(("machine".into(), Value::UInt(machine as u64)));
+                pairs.push(("dimension".into(), Value::String(kind.name().into())));
+                pairs.push(("value".into(), Value::Int(value as i64)));
+            }
+            EventKind::Epoch { epoch } => {
+                pairs.push(("epoch".into(), Value::UInt(epoch as u64)));
+            }
+        }
+        Value::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_stay_compact() {
+        // The ring stores events inline; a growing payload would silently
+        // double the recorder's memory footprint.
+        assert!(std::mem::size_of::<Event>() <= 16);
+    }
+
+    #[test]
+    fn action_code_round_trips_severity() {
+        for code in 0u8..=4 {
+            assert_eq!(ActionCode::from_severity(code).severity(), code);
+        }
+    }
+
+    #[test]
+    fn per_mille_saturates() {
+        assert_eq!(per_mille_u16(0.5), 500);
+        assert_eq!(per_mille_u16(-1.0), 0);
+        assert_eq!(per_mille_u16(1e9), u16::MAX);
+        assert_eq!(per_mille_i16(-0.25), -250);
+        assert_eq!(per_mille_i16(-1e9), i16::MIN);
+    }
+
+    #[test]
+    fn event_json_carries_payload() {
+        let ev = Event {
+            t_ns: 2_000_000_000,
+            kind: EventKind::Action {
+                machine: 3,
+                action: ActionCode::CutBe,
+                load_pm: 640,
+                slack_pm: 31,
+            },
+        };
+        let s = serde_json::to_string(&ev.to_value(1)).unwrap();
+        assert!(s.contains("\"kind\":\"action\""), "{s}");
+        assert!(s.contains("\"action\":\"CutBE\""), "{s}");
+        assert!(s.contains("\"replica\":1"), "{s}");
+    }
+}

@@ -1,0 +1,312 @@
+//! Deterministic exporters over collected telemetry: JSONL, a
+//! human-readable why-report, and Chrome-trace JSON for
+//! `chrome://tracing` / Perfetto.
+//!
+//! Determinism contract: exports are plain functions of the collected
+//! data; replicas are always iterated in index order and objects are
+//! built with fixed key order, so two runs that collected identical
+//! telemetry (e.g. the same cluster run at different worker-thread
+//! counts) render byte-identical text.
+
+use crate::audit::AuditRecord;
+use crate::event::{Event, EventKind};
+use crate::tail::TailPoint;
+use serde_json::Value;
+
+/// Everything one engine collected during a run.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryOutput {
+    /// Servpod names by machine index (resolves `machine` fields in
+    /// events and audit records).
+    pub pods: Vec<String>,
+    /// Flight-recorder contents, oldest first.
+    pub events: Vec<Event>,
+    /// Total events ever recorded (including ones evicted from the ring).
+    pub recorded: u64,
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
+    /// The decision audit trail, in tick order.
+    pub audit: Vec<AuditRecord>,
+    /// The per-engine tail series, one point per controller period.
+    pub tail: Vec<TailPoint>,
+}
+
+impl TelemetryOutput {
+    /// The human-readable "why did Rhythm do X at t=Y" report: one line
+    /// per audit record, in tick order.
+    pub fn why_report(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.audit {
+            out.push_str(&rec.why());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders telemetry as JSON Lines: one compact object per line.
+///
+/// Line order is fixed — a `meta` header, then per-replica events, audit
+/// records and tail points (replicas in index order), then the merged
+/// cluster tail series — so the export is byte-identical whenever the
+/// collected data is identical.
+pub fn export_jsonl(replicas: &[TelemetryOutput], cluster_tail: &[TailPoint]) -> String {
+    let mut out = String::new();
+    let mut push = |v: Value| {
+        out.push_str(&v.to_json_string());
+        out.push('\n');
+    };
+
+    let recorded: u64 = replicas.iter().map(|r| r.recorded).sum();
+    let dropped: u64 = replicas.iter().map(|r| r.dropped).sum();
+    push(Value::Object(vec![
+        ("type".into(), Value::String("meta".into())),
+        ("schema".into(), Value::String("rhythm-trace/v1".into())),
+        ("replicas".into(), Value::UInt(replicas.len() as u64)),
+        ("events_recorded".into(), Value::UInt(recorded)),
+        ("events_dropped".into(), Value::UInt(dropped)),
+    ]));
+
+    for (idx, rep) in replicas.iter().enumerate() {
+        for ev in &rep.events {
+            push(ev.to_value(idx));
+        }
+        for rec in &rep.audit {
+            push(rec.to_value(idx));
+        }
+        for pt in &rep.tail {
+            push(pt.to_value("replica", Some(idx)));
+        }
+    }
+    for pt in cluster_tail {
+        push(pt.to_value("cluster", None));
+    }
+    out
+}
+
+/// Converts one event into a Chrome-trace entry, or `None` for kinds too
+/// frequent to chart individually (per-request events).
+fn chrome_event(ev: &Event, replica: usize) -> Option<Value> {
+    let ts_us = ev.t_ns as f64 / 1000.0;
+    let instant = |name: String, machine: u16, args: Vec<(String, Value)>| {
+        Value::Object(vec![
+            ("name".into(), Value::String(name)),
+            ("ph".into(), Value::String("i".into())),
+            ("s".into(), Value::String("t".into())),
+            ("ts".into(), Value::Float(ts_us)),
+            ("pid".into(), Value::UInt(replica as u64)),
+            ("tid".into(), Value::UInt(machine as u64)),
+            ("args".into(), Value::Object(args)),
+        ])
+    };
+    match ev.kind {
+        // Per-request events would swamp the viewer; the tail counters
+        // already summarise them.
+        EventKind::RequestAdmitted | EventKind::RequestCompleted { .. } => None,
+        EventKind::BeAdmitted { machine, instance } => Some(instant(
+            "be_admitted".into(),
+            machine,
+            vec![("instance".into(), Value::UInt(instance as u64))],
+        )),
+        EventKind::BeKilled {
+            machine,
+            instance,
+            progress_pct,
+        } => Some(instant(
+            "be_killed".into(),
+            machine,
+            vec![
+                ("instance".into(), Value::UInt(instance as u64)),
+                ("progress_pct".into(), Value::UInt(progress_pct as u64)),
+            ],
+        )),
+        EventKind::Action {
+            machine,
+            action,
+            load_pm,
+            slack_pm,
+        } => Some(instant(
+            action.name().into(),
+            machine,
+            vec![
+                ("load".into(), Value::Float(load_pm as f64 / 1000.0)),
+                ("slack".into(), Value::Float(slack_pm as f64 / 1000.0)),
+            ],
+        )),
+        EventKind::Adjust {
+            machine,
+            kind,
+            value,
+        } => Some(instant(
+            kind.name().into(),
+            machine,
+            vec![("value".into(), Value::Int(value as i64))],
+        )),
+        EventKind::Epoch { epoch } => Some(instant(
+            "epoch".into(),
+            0,
+            vec![("epoch".into(), Value::UInt(epoch as u64))],
+        )),
+    }
+}
+
+/// Renders telemetry as Chrome-trace JSON (`chrome://tracing` /
+/// Perfetto "JSON array format"): controller actions, subcontroller
+/// adjustments and BE lifecycle as instant events, per-replica tail
+/// series as counter tracks.
+pub fn chrome_trace(replicas: &[TelemetryOutput]) -> String {
+    let mut entries: Vec<Value> = Vec::new();
+    for (idx, rep) in replicas.iter().enumerate() {
+        entries.push(Value::Object(vec![
+            ("name".into(), Value::String("process_name".into())),
+            ("ph".into(), Value::String("M".into())),
+            ("pid".into(), Value::UInt(idx as u64)),
+            (
+                "args".into(),
+                Value::Object(vec![(
+                    "name".into(),
+                    Value::String(format!("replica {idx}")),
+                )]),
+            ),
+        ]));
+        for ev in &rep.events {
+            if let Some(v) = chrome_event(ev, idx) {
+                entries.push(v);
+            }
+        }
+        for pt in &rep.tail {
+            entries.push(Value::Object(vec![
+                ("name".into(), Value::String("tail_ms".into())),
+                ("ph".into(), Value::String("C".into())),
+                ("ts".into(), Value::Float(pt.t_s * 1e6)),
+                ("pid".into(), Value::UInt(idx as u64)),
+                (
+                    "args".into(),
+                    Value::Object(vec![
+                        ("p95".into(), Value::Float(pt.p95_ms)),
+                        ("p99".into(), Value::Float(pt.p99_ms)),
+                    ]),
+                ),
+            ]));
+            entries.push(Value::Object(vec![
+                ("name".into(), Value::String("slack".into())),
+                ("ph".into(), Value::String("C".into())),
+                ("ts".into(), Value::Float(pt.t_s * 1e6)),
+                ("pid".into(), Value::UInt(idx as u64)),
+                (
+                    "args".into(),
+                    Value::Object(vec![("slack".into(), Value::Float(pt.slack))]),
+                ),
+            ]));
+        }
+    }
+    let doc = Value::Object(vec![
+        ("traceEvents".into(), Value::Array(entries)),
+        ("displayTimeUnit".into(), Value::String("ms".into())),
+    ]);
+    doc.to_json_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{BeSnapshot, Trigger};
+    use crate::event::ActionCode;
+
+    fn sample_output() -> TelemetryOutput {
+        TelemetryOutput {
+            pods: vec!["front".into(), "search".into()],
+            events: vec![
+                Event {
+                    t_ns: 2_000_000_000,
+                    kind: EventKind::Action {
+                        machine: 0,
+                        action: ActionCode::SuspendBe,
+                        load_pm: 710,
+                        slack_pm: 120,
+                    },
+                },
+                Event {
+                    t_ns: 2_000_000_000,
+                    kind: EventKind::RequestAdmitted,
+                },
+                Event {
+                    t_ns: 4_000_000_000,
+                    kind: EventKind::Epoch { epoch: 1 },
+                },
+            ],
+            recorded: 3,
+            dropped: 0,
+            audit: vec![AuditRecord {
+                t_s: 2.0,
+                machine: 0,
+                pod: "front".into(),
+                action: ActionCode::SuspendBe,
+                trigger: Trigger::LoadAboveLimit,
+                load: 0.71,
+                loadlimit: 0.6,
+                slack: 0.12,
+                slacklimit: 0.1,
+                tail_ms: 88.0,
+                sla_ms: 100.0,
+                hot_pod: None,
+                hot_pod_name: String::new(),
+                hot_pod_ms: 0.0,
+                before: BeSnapshot::default(),
+                after: BeSnapshot::default(),
+            }],
+            tail: vec![TailPoint {
+                t_s: 2.0,
+                count: 40,
+                p50_ms: 10.0,
+                p95_ms: 60.0,
+                p99_ms: 88.0,
+                slack: 0.12,
+            }],
+        }
+    }
+
+    #[test]
+    fn jsonl_has_meta_then_lines() {
+        let out = sample_output();
+        let cluster = vec![out.tail[0]];
+        let text = export_jsonl(&[out], &cluster);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 3 + 1 + 1 + 1);
+        assert!(lines[0].starts_with("{\"type\":\"meta\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"kind\":\"action\""), "{}", lines[1]);
+        let last = lines.last().unwrap();
+        assert!(last.contains("\"scope\":\"cluster\""), "{last}");
+        // Every line is a complete object.
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+    }
+
+    #[test]
+    fn jsonl_is_deterministic() {
+        let a = export_jsonl(&[sample_output()], &[]);
+        let b = export_jsonl(&[sample_output()], &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn why_report_one_line_per_record() {
+        let out = sample_output();
+        let report = out.why_report();
+        assert_eq!(report.lines().count(), 1);
+        assert!(report.contains("SuspendBE"), "{report}");
+        assert!(report.contains("loadlimit"), "{report}");
+    }
+
+    #[test]
+    fn chrome_trace_skips_request_noise_and_keeps_actions() {
+        let text = chrome_trace(&[sample_output()]);
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        assert!(text.contains("\"name\":\"SuspendBE\""), "{text}");
+        assert!(text.contains("\"ph\":\"C\""), "{text}");
+        assert!(text.contains("\"name\":\"epoch\""), "{text}");
+        assert!(!text.contains("request_admitted"), "{text}");
+        assert!(text.ends_with("\"displayTimeUnit\":\"ms\"}"), "{text}");
+    }
+}

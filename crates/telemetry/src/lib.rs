@@ -1,0 +1,46 @@
+//! Observability for the Rhythm runtime: flight recorder, decision audit
+//! trail and streaming tail timelines.
+//!
+//! Production co-location systems are debugged from logged per-machine
+//! timelines (Ren et al.'s Alibaba anomaly study works entirely off such
+//! logs); the paper's 2-second decision loop (§3.5, Algorithm 2) is
+//! otherwise opaque — when a run shows an SLA violation or a surprising
+//! EMU number there is no way to answer *why* an action fired. This crate
+//! provides three pieces the engine, controller and cluster layers hook
+//! into:
+//!
+//! * [`recorder`] — a fixed-capacity ring buffer ([`FlightRecorder`]) of
+//!   compact, timestamped events ([`Event`]): request admitted/completed,
+//!   BE action taken, subcontroller adjustment, BE admission/kill, epoch
+//!   boundary. The record path allocates nothing (the ring is
+//!   preallocated, events are `Copy`) and a disabled recorder costs one
+//!   predictable branch.
+//! * [`audit`] — every controller action with its full causal context
+//!   ([`AuditRecord`]): measured load vs `loadlimit`, slack vs
+//!   `slacklimit`, the triggering condition of Algorithm 2, the hottest
+//!   Servpod by mean sojourn, and the BE population before/after.
+//!   Renders as JSONL or as a human-readable "why did Rhythm do X at
+//!   t=Y" report.
+//! * [`tail`] — epoch-aligned p50/p95/p99 + slack series ([`TailSeries`])
+//!   built on the [`rhythm_sim::LatencyHistogram`] sketch. Per-engine
+//!   windows are merged across cluster worker threads in fixed replica
+//!   order at epoch barriers, so exports are byte-identical for any
+//!   thread count.
+//! * [`export`] — deterministic JSONL and Chrome-trace
+//!   (`chrome://tracing`) exporters over the collected
+//!   [`TelemetryOutput`]s.
+//!
+//! Everything is off by default ([`TelemetryConfig::disabled`]); the
+//! engine's hot path only ever pays the `enabled` check.
+
+pub mod audit;
+pub mod event;
+pub mod export;
+pub mod recorder;
+pub mod tail;
+
+pub use audit::{AuditRecord, BeSnapshot, Trigger};
+pub use event::{per_mille_i16, per_mille_u16, ActionCode, AdjustKind, Event, EventKind};
+pub use export::{chrome_trace, export_jsonl, TelemetryOutput};
+pub use recorder::{FlightRecorder, Telemetry, TelemetryConfig};
+pub use tail::{TailPoint, TailSeries};

@@ -1,0 +1,318 @@
+//! The flight recorder: a fixed-capacity ring of [`Event`]s, plus the
+//! [`Telemetry`] bundle the engine embeds.
+
+use crate::audit::AuditRecord;
+use crate::event::{Event, EventKind};
+use crate::export::TelemetryOutput;
+use crate::tail::TailSeries;
+use rhythm_sim::SimTime;
+
+/// Default ring capacity: 64 Ki events × 16 bytes = 1 MiB.
+pub const DEFAULT_RING_CAPACITY: usize = 64 * 1024;
+
+/// What to collect during a run. Everything defaults to off; the engine
+/// hot path then pays exactly one predictable branch per instrumentation
+/// point.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Master switch. When false nothing is collected and
+    /// `EngineOutput::telemetry` stays `None`.
+    pub enabled: bool,
+    /// Flight-recorder ring capacity in events (oldest evicted first).
+    pub ring_capacity: usize,
+    /// Collect the decision audit trail (one record per controller tick
+    /// per machine).
+    pub audit: bool,
+    /// Collect the epoch-aligned tail series (p50/p95/p99 + slack per
+    /// controller period).
+    pub tail: bool,
+}
+
+impl TelemetryConfig {
+    /// Everything off (the default).
+    pub fn disabled() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: false,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            audit: false,
+            tail: false,
+        }
+    }
+
+    /// Recorder + audit trail + tail series, default ring capacity.
+    pub fn full() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: true,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            audit: true,
+            tail: true,
+        }
+    }
+
+    /// Flight recorder only (no audit trail, no tail series).
+    pub fn events_only() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: true,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            audit: false,
+            tail: false,
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::disabled()
+    }
+}
+
+/// A fixed-capacity ring buffer of [`Event`]s.
+///
+/// The buffer is allocated once at construction; recording writes a
+/// `Copy` event into a slot and never touches the heap. When the ring is
+/// full the oldest event is overwritten (and counted as dropped) — a
+/// flight recorder keeps the *recent* past, which is what post-mortems
+/// need.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    enabled: bool,
+    buf: Vec<Event>,
+    cap: usize,
+    /// Total events ever recorded (slot of record `k` is `k % cap`).
+    seq: u64,
+}
+
+impl FlightRecorder {
+    /// An enabled recorder holding up to `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            enabled: true,
+            buf: Vec::with_capacity(cap),
+            cap,
+            seq: 0,
+        }
+    }
+
+    /// A recorder that ignores every record call (no allocation).
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder {
+            enabled: false,
+            buf: Vec::new(),
+            cap: 1,
+            seq: 0,
+        }
+    }
+
+    /// Builds from a config: enabled iff `cfg.enabled`.
+    pub fn from_config(cfg: &TelemetryConfig) -> FlightRecorder {
+        if cfg.enabled {
+            FlightRecorder::new(cfg.ring_capacity)
+        } else {
+            FlightRecorder::disabled()
+        }
+    }
+
+    /// True if record calls are stored.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event. The disabled fast path is a single branch.
+    #[inline]
+    pub fn record(&mut self, t: SimTime, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let ev = Event {
+            t_ns: t.as_nanos(),
+            kind,
+        };
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            let slot = (self.seq % self.cap as u64) as usize;
+            self.buf[slot] = ev;
+        }
+        self.seq += 1;
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        if self.buf.len() < self.cap {
+            return self.buf.clone();
+        }
+        let split = (self.seq % self.cap as u64) as usize;
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[split..]);
+        out.extend_from_slice(&self.buf[..split]);
+        out
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.seq - self.buf.len() as u64
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// The per-engine telemetry bundle: recorder + audit trail + tail
+/// series. The engine owns one and threads it through its event
+/// handlers; [`Telemetry::into_output`] freezes it into the run output.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    cfg: TelemetryConfig,
+    /// The flight recorder (hot-path instrumentation writes here).
+    pub recorder: FlightRecorder,
+    /// The decision audit trail, in tick order.
+    pub audit: Vec<AuditRecord>,
+    /// The epoch-aligned tail series.
+    pub tail: TailSeries,
+}
+
+impl Telemetry {
+    /// Builds the bundle for a config.
+    pub fn new(cfg: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            recorder: FlightRecorder::from_config(&cfg),
+            audit: Vec::new(),
+            tail: TailSeries::new(),
+            cfg,
+        }
+    }
+
+    /// Master switch.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// True if audit records should be collected.
+    #[inline]
+    pub fn audit_enabled(&self) -> bool {
+        self.cfg.enabled && self.cfg.audit
+    }
+
+    /// True if the tail series should be collected.
+    #[inline]
+    pub fn tail_enabled(&self) -> bool {
+        self.cfg.enabled && self.cfg.tail
+    }
+
+    /// Feeds one end-to-end latency into the current tail window.
+    #[inline]
+    pub fn record_latency(&mut self, ms: f64) {
+        if self.tail_enabled() {
+            self.tail.record(ms);
+        }
+    }
+
+    /// Freezes the bundle into a run output (`None` when disabled).
+    /// `pods` maps machine indices to Servpod names for exports.
+    pub fn into_output(self, pods: Vec<String>) -> Option<TelemetryOutput> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        Some(TelemetryOutput {
+            pods,
+            recorded: self.recorder.recorded(),
+            dropped: self.recorder.dropped(),
+            events: self.recorder.events(),
+            audit: self.audit,
+            tail: self.tail.into_points(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_recorder_stores_nothing() {
+        let mut r = FlightRecorder::disabled();
+        for i in 0..100 {
+            r.record(at(i), EventKind::RequestAdmitted);
+        }
+        assert_eq!(r.recorded(), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.events(), Vec::new());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            r.record(at(i), EventKind::Epoch { epoch: i as u32 });
+        }
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+        let evs = r.events();
+        assert_eq!(evs.len(), 4);
+        let times: Vec<u64> = evs.iter().map(|e| e.t_ns).collect();
+        assert_eq!(times, vec![6, 7, 8, 9], "oldest evicted, order kept");
+    }
+
+    #[test]
+    fn partial_ring_returns_everything() {
+        let mut r = FlightRecorder::new(8);
+        for i in 0..3u64 {
+            r.record(at(i), EventKind::RequestAdmitted);
+        }
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = FlightRecorder::new(0);
+        r.record(at(1), EventKind::RequestAdmitted);
+        r.record(at(2), EventKind::RequestAdmitted);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.events()[0].t_ns, 2);
+    }
+
+    #[test]
+    fn disabled_config_yields_no_output() {
+        let t = Telemetry::new(TelemetryConfig::disabled());
+        assert!(!t.enabled());
+        assert!(t.into_output(vec!["a".into()]).is_none());
+    }
+
+    #[test]
+    fn full_config_round_trips_into_output() {
+        let mut t = Telemetry::new(TelemetryConfig::full());
+        t.recorder.record(at(5), EventKind::RequestAdmitted);
+        t.record_latency(12.0);
+        t.tail.tick(2.0, 100.0);
+        let out = t.into_output(vec!["front".into()]).unwrap();
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.recorded, 1);
+        assert_eq!(out.tail.len(), 1);
+        assert_eq!(out.pods, vec!["front".to_string()]);
+    }
+}

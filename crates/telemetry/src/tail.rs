@@ -1,0 +1,215 @@
+//! Streaming tail timelines: epoch-aligned p50/p95/p99 + slack series
+//! built on the [`LatencyHistogram`] sketch.
+//!
+//! Each engine keeps one [`TailSeries`]. Latencies stream into the
+//! current window; at every controller period (the cluster epoch) the
+//! window is closed into a [`TailPoint`] and kept around as
+//! `last_window` so the cluster runner can merge the per-engine sketches
+//! in fixed replica order at the barrier — making the cluster-wide
+//! series bit-identical for any worker-thread count.
+
+use rhythm_sim::LatencyHistogram;
+use serde_json::Value;
+
+/// One closed window of the tail timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TailPoint {
+    /// Virtual time of the window close, in seconds.
+    pub t_s: f64,
+    /// Requests completed inside the window.
+    pub count: u64,
+    /// Median latency in ms (0 for an empty window).
+    pub p50_ms: f64,
+    /// 95th-percentile latency in ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency in ms.
+    pub p99_ms: f64,
+    /// Slack of the window's p99 against the SLA: `(SLA - p99) / SLA`.
+    /// An empty window reports full slack (1.0).
+    pub slack: f64,
+}
+
+impl TailPoint {
+    /// Builds a point by summarising a (possibly empty) window sketch.
+    pub fn from_window(hist: &LatencyHistogram, t_s: f64, sla_ms: f64) -> TailPoint {
+        if hist.is_empty() {
+            return TailPoint {
+                t_s,
+                count: 0,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                slack: 1.0,
+            };
+        }
+        let p99 = hist.quantile(0.99);
+        TailPoint {
+            t_s,
+            count: hist.count(),
+            p50_ms: hist.quantile(0.50),
+            p95_ms: hist.quantile(0.95),
+            p99_ms: p99,
+            // No (finite) SLA means nothing to run out of: full slack.
+            slack: if sla_ms.is_finite() && sla_ms > 0.0 {
+                (sla_ms - p99) / sla_ms
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Renders the point as a JSON object. `scope` is `"replica"` plus an
+    /// index for per-engine series or `"cluster"` for the merged one.
+    pub fn to_value(&self, scope: &str, replica: Option<usize>) -> Value {
+        let mut pairs: Vec<(String, Value)> = vec![
+            ("type".into(), Value::String("tail".into())),
+            ("scope".into(), Value::String(scope.into())),
+        ];
+        if let Some(r) = replica {
+            pairs.push(("replica".into(), Value::UInt(r as u64)));
+        }
+        pairs.push(("t_s".into(), Value::Float(self.t_s)));
+        pairs.push(("count".into(), Value::UInt(self.count)));
+        pairs.push(("p50_ms".into(), Value::Float(self.p50_ms)));
+        pairs.push(("p95_ms".into(), Value::Float(self.p95_ms)));
+        pairs.push(("p99_ms".into(), Value::Float(self.p99_ms)));
+        pairs.push(("slack".into(), Value::Float(self.slack)));
+        Value::Object(pairs)
+    }
+}
+
+/// A streaming tail series: latencies go into the current window, which
+/// [`TailSeries::tick`] closes into a point at every controller period.
+#[derive(Clone, Debug)]
+pub struct TailSeries {
+    window: LatencyHistogram,
+    /// The sketch of the most recently closed window, kept so a cluster
+    /// merge can combine per-engine windows after the tick.
+    last_window: LatencyHistogram,
+    points: Vec<TailPoint>,
+}
+
+impl TailSeries {
+    /// An empty series using the default sketch resolution.
+    pub fn new() -> TailSeries {
+        TailSeries {
+            window: LatencyHistogram::new(),
+            last_window: LatencyHistogram::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Streams one end-to-end latency (ms) into the current window.
+    #[inline]
+    pub fn record(&mut self, ms: f64) {
+        self.window.record(ms);
+    }
+
+    /// Closes the current window at virtual time `t_s`, appends its
+    /// point, and retires the sketch into `last_window`.
+    pub fn tick(&mut self, t_s: f64, sla_ms: f64) {
+        self.points
+            .push(TailPoint::from_window(&self.window, t_s, sla_ms));
+        std::mem::swap(&mut self.window, &mut self.last_window);
+        self.window.reset();
+    }
+
+    /// The sketch of the most recently closed window (for cross-engine
+    /// merging at an epoch barrier).
+    pub fn last_window(&self) -> &LatencyHistogram {
+        &self.last_window
+    }
+
+    /// Points closed so far.
+    pub fn points(&self) -> &[TailPoint] {
+        &self.points
+    }
+
+    /// Consumes the series into its points.
+    pub fn into_points(self) -> Vec<TailPoint> {
+        self.points
+    }
+}
+
+impl Default for TailSeries {
+    fn default() -> Self {
+        TailSeries::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_reports_full_slack() {
+        let mut s = TailSeries::new();
+        s.tick(2.0, 100.0);
+        let p = s.points()[0];
+        assert_eq!(p.count, 0);
+        assert_eq!(p.p99_ms, 0.0);
+        assert_eq!(p.slack, 1.0);
+    }
+
+    #[test]
+    fn windows_are_disjoint() {
+        let mut s = TailSeries::new();
+        for _ in 0..100 {
+            s.record(10.0);
+        }
+        s.tick(2.0, 100.0);
+        for _ in 0..100 {
+            s.record(50.0);
+        }
+        s.tick(4.0, 100.0);
+        let pts = s.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].count, 100);
+        assert_eq!(pts[1].count, 100);
+        // Each window only sees its own latencies (1% sketch error).
+        assert!((pts[0].p99_ms - 10.0).abs() / 10.0 < 0.02, "{:?}", pts[0]);
+        assert!((pts[1].p99_ms - 50.0).abs() / 50.0 < 0.02, "{:?}", pts[1]);
+        assert!(pts[0].slack > pts[1].slack);
+    }
+
+    #[test]
+    fn last_window_holds_retired_sketch() {
+        let mut s = TailSeries::new();
+        for _ in 0..10 {
+            s.record(25.0);
+        }
+        s.tick(2.0, 100.0);
+        assert_eq!(s.last_window().count(), 10);
+        // A second, empty tick retires an empty window.
+        s.tick(4.0, 100.0);
+        assert_eq!(s.last_window().count(), 0);
+    }
+
+    #[test]
+    fn negative_slack_when_tail_beyond_sla() {
+        let mut s = TailSeries::new();
+        for _ in 0..10 {
+            s.record(200.0);
+        }
+        s.tick(2.0, 100.0);
+        assert!(s.points()[0].slack < 0.0);
+    }
+
+    #[test]
+    fn json_scopes_replica_and_cluster() {
+        let p = TailPoint {
+            t_s: 2.0,
+            count: 5,
+            p50_ms: 1.0,
+            p95_ms: 2.0,
+            p99_ms: 3.0,
+            slack: 0.97,
+        };
+        let rep = serde_json::to_string(&p.to_value("replica", Some(3))).unwrap();
+        assert!(rep.contains("\"scope\":\"replica\""), "{rep}");
+        assert!(rep.contains("\"replica\":3"), "{rep}");
+        let clu = serde_json::to_string(&p.to_value("cluster", None)).unwrap();
+        assert!(clu.contains("\"scope\":\"cluster\""), "{clu}");
+        assert!(!clu.contains("\"replica\""), "{clu}");
+    }
+}

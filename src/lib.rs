@@ -34,6 +34,7 @@ pub use rhythm_core as core;
 pub use rhythm_interference as interference;
 pub use rhythm_machine as machine;
 pub use rhythm_sim as sim;
+pub use rhythm_telemetry as telemetry;
 pub use rhythm_tracer as tracer;
 pub use rhythm_workloads as workloads;
 
@@ -42,7 +43,7 @@ pub mod prelude {
     pub use rhythm_analyzer::{contributions, find_loadlimit, find_slacklimits, SojournProfile};
     pub use rhythm_cluster::{
         compare_cluster, run_cluster, ClusterConfig, ClusterMetrics, ClusterOutcome,
-        PlacementPolicy,
+        ClusterTelemetry, PlacementPolicy,
     };
     pub use rhythm_controller::{BeAction, ThresholdPolicy, Thresholds};
     pub use rhythm_core::experiment::{ControllerChoice, ExperimentConfig, ServiceContext};
@@ -52,5 +53,9 @@ pub mod prelude {
     pub use rhythm_interference::{InterferenceModel, Pressure};
     pub use rhythm_machine::{Allocation, Machine, MachineSpec};
     pub use rhythm_sim::{LatencyHistogram, SimDuration, SimRng, SimTime};
+    pub use rhythm_telemetry::{
+        chrome_trace, export_jsonl, AuditRecord, FlightRecorder, TailPoint, Telemetry,
+        TelemetryConfig, TelemetryOutput,
+    };
     pub use rhythm_workloads::{apps, BeKind, BeSpec, LoadGen, ServiceSpec};
 }

@@ -162,6 +162,38 @@ proptest! {
         prop_assert!(arena.capacity() <= ops.len());
     }
 
+    /// Merging shards must not degrade accuracy: every quantile of the
+    /// merged sketch stays within the advertised relative error of the
+    /// exact quantile over the union of observations. The cluster runner
+    /// relies on this when per-replica epoch windows are folded into the
+    /// cluster-wide tail series.
+    #[test]
+    fn histogram_merged_quantiles_within_advertised_error(
+        a in prop::collection::vec(0.01f64..1e5, 1..300),
+        b in prop::collection::vec(0.01f64..1e5, 1..300),
+    ) {
+        let err = 0.01; // LatencyHistogram::new()'s advertised bound
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        ha.merge(&hb);
+        let mut union: Vec<f64> = a.iter().chain(&b).copied().collect();
+        union.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let rank = ((p * union.len() as f64).ceil() as usize).clamp(1, union.len());
+            let exact = union[rank - 1];
+            let approx = ha.quantile(p);
+            // Bucket boundaries give one gamma factor of slack on top of
+            // the per-value error, hence 2.5 * err.
+            prop_assert!(
+                (approx - exact).abs() <= exact * 2.5 * err + 1e-9,
+                "p={p} exact={exact} approx={approx}"
+            );
+        }
+    }
+
     #[test]
     fn histogram_merge_count_is_additive(a in prop::collection::vec(0.01f64..1e4, 0..200), b in prop::collection::vec(0.01f64..1e4, 0..200)) {
         let mut ha = LatencyHistogram::new();
