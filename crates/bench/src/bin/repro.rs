@@ -7,6 +7,8 @@
 //!                    #   trace
 //! repro all          # everything (reuses the Figures 9-14 grid)
 //! repro --json <id>  # print the JSON document instead of text tables
+//! repro cluster --hetero  # heterogeneous 4-machine cell instead of the
+//!                         # homogeneous N ∈ {4,16,64} sweep
 //! ```
 //!
 //! Results are written as text + JSON under `results/` (override with
@@ -20,6 +22,8 @@ fn main() -> std::io::Result<()> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_mode = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
+    let hetero = args.iter().any(|a| a == "--hetero");
+    args.retain(|a| a != "--hetero");
     b::report::set_json_stdout(json_mode);
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
@@ -82,6 +86,7 @@ fn main() -> std::io::Result<()> {
             "fig18" => b::fig18::run()?,
             "tab2" => b::fig18::run_tab2()?,
             "ablate" => b::ablate::run()?,
+            "cluster" if hetero => b::cluster::run_hetero()?,
             "cluster" => b::cluster::run()?,
             "trace" => b::trace::run()?,
             other => {

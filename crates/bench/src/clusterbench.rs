@@ -74,9 +74,17 @@ pub fn run(quick: bool) -> std::io::Result<PathBuf> {
     }
     let speedup_8v1 = wall_by_threads[&1] / wall_by_threads[&8];
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_threads = *THREADS.iter().max().expect("grid is non-empty");
+    let oversubscribed = host_cpus < max_threads;
     println!("speedup 8 threads vs 1: {speedup_8v1:.2}x (host has {host_cpus} CPUs)");
     if host_cpus < 2 {
         println!("note: single-CPU host — parallel speedup cannot manifest; the grid still verifies thread-count determinism and measures pool overhead");
+    }
+    if oversubscribed {
+        eprintln!(
+            "note: host has {host_cpus} CPUs but the grid runs up to {max_threads} worker threads; \
+             oversubscribed rows measure scheduling pressure, not scaling"
+        );
     }
 
     let report = serde_json::json!({
@@ -86,6 +94,7 @@ pub fn run(quick: bool) -> std::io::Result<PathBuf> {
         "duration_s": base.duration_s,
         "reps": reps,
         "host_cpus": host_cpus,
+        "oversubscribed": oversubscribed,
         "cells": cells,
         "speedup_8_threads_vs_1": speedup_8v1,
     });

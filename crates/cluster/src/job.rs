@@ -50,10 +50,18 @@ pub struct ClusterJob {
     pub completed_s: Option<f64>,
     /// Lifecycle state.
     pub state: JobState,
+    /// Priority class (0 = lowest; preemption prefers low classes).
+    pub priority: u8,
+    /// Completion deadline in virtual seconds (`None` = best effort).
+    pub deadline_s: Option<f64>,
+    /// Gang id when this job is one instance of a gang-scheduled
+    /// multi-instance job (`None` for solitary jobs). All members of a
+    /// gang start together and are rolled back together.
+    pub gang: Option<u32>,
 }
 
 impl ClusterJob {
-    /// A fresh job submitted at `submitted_s`.
+    /// A fresh solitary best-effort job submitted at `submitted_s`.
     pub fn new(id: JobId, spec: BeSpec, submitted_s: f64) -> ClusterJob {
         ClusterJob {
             id,
@@ -64,6 +72,21 @@ impl ClusterJob {
             submitted_s,
             completed_s: None,
             state: JobState::Queued,
+            priority: 0,
+            deadline_s: None,
+            gang: None,
+        }
+    }
+
+    /// True if the job's deadline is missed as of `t_s`: either it
+    /// finished late, or it is unfinished with the deadline in the past.
+    pub fn deadline_missed_at(&self, t_s: f64) -> bool {
+        let Some(deadline) = self.deadline_s else {
+            return false;
+        };
+        match self.completed_s {
+            Some(done) => done > deadline,
+            None => t_s > deadline,
         }
     }
 
@@ -106,6 +129,51 @@ impl ClusterJob {
     }
 }
 
+/// One entry of a cluster's job plan: a BE workload plus its scheduling
+/// attributes. A gang size of `k > 1` expands into `k` [`ClusterJob`]s
+/// sharing a gang id that start and roll back atomically.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The BE workload.
+    pub spec: BeSpec,
+    /// Priority class (0 = lowest).
+    pub priority: u8,
+    /// Completion deadline in virtual seconds (`None` = best effort).
+    pub deadline_s: Option<f64>,
+    /// Number of instances that must be co-scheduled (1 = solitary).
+    pub gang: u32,
+}
+
+impl JobSpec {
+    /// A solitary best-effort entry for `spec`.
+    pub fn solitary(spec: BeSpec) -> JobSpec {
+        JobSpec {
+            spec,
+            priority: 0,
+            deadline_s: None,
+            gang: 1,
+        }
+    }
+
+    /// Sets the priority class.
+    pub fn with_priority(mut self, priority: u8) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the completion deadline.
+    pub fn with_deadline(mut self, deadline_s: f64) -> JobSpec {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Makes this a gang of `k` co-scheduled instances.
+    pub fn with_gang(mut self, k: u32) -> JobSpec {
+        self.gang = k.max(1);
+        self
+    }
+}
+
 /// Aggregate job outcomes of one cluster run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct JobStats {
@@ -124,11 +192,26 @@ pub struct JobStats {
     /// Total wasted work in solo-machine-seconds (fraction ×
     /// `job_seconds`).
     pub wasted_machine_s: f64,
+    /// Jobs that carried a deadline.
+    pub deadline_total: u64,
+    /// Dated jobs that finished late or ran out of time.
+    pub deadline_missed: u64,
+    /// `deadline_missed / deadline_total` (0 when no job had a
+    /// deadline).
+    pub deadline_miss_rate: f64,
 }
 
 impl JobStats {
-    /// Summarizes a set of jobs.
+    /// Summarizes a set of jobs without a run horizon: only jobs that
+    /// *completed* late count as deadline misses.
     pub fn from_jobs(jobs: &[ClusterJob]) -> JobStats {
+        JobStats::from_jobs_at(jobs, f64::NEG_INFINITY)
+    }
+
+    /// Summarizes a set of jobs as of `horizon_s` (the end of the run):
+    /// a dated job misses if it completed late **or** is still unfinished
+    /// past its deadline.
+    pub fn from_jobs_at(jobs: &[ClusterJob], horizon_s: f64) -> JobStats {
         let mut times: Vec<f64> = jobs.iter().filter_map(|j| j.completion_time_s()).collect();
         times.sort_by(|a, b| a.partial_cmp(b).expect("completion times are finite"));
         let completed = times.len() as u64;
@@ -142,6 +225,11 @@ impl JobStats {
         } else {
             times[((times.len() as f64 * 0.99).ceil() as usize).min(times.len()) - 1]
         };
+        let deadline_total = jobs.iter().filter(|j| j.deadline_s.is_some()).count() as u64;
+        let deadline_missed = jobs
+            .iter()
+            .filter(|j| j.deadline_missed_at(horizon_s))
+            .count() as u64;
         JobStats {
             submitted: jobs.len() as u64,
             completed,
@@ -150,6 +238,13 @@ impl JobStats {
             completion_p99_s: p99,
             wasted_jobs: jobs.iter().map(|j| j.wasted).sum(),
             wasted_machine_s: jobs.iter().map(|j| j.wasted * j.spec.job_seconds).sum(),
+            deadline_total,
+            deadline_missed,
+            deadline_miss_rate: if deadline_total > 0 {
+                deadline_missed as f64 / deadline_total as f64
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -198,6 +293,46 @@ mod tests {
         j.on_complete(110.0);
         assert_eq!(j.completion_time_s(), Some(100.0));
         assert_eq!(j.state, JobState::Done);
+    }
+
+    #[test]
+    fn deadline_accounting() {
+        let mut on_time = job();
+        on_time.deadline_s = Some(100.0);
+        on_time.on_complete(80.0);
+        let mut late = ClusterJob::new(1, BeSpec::of(BeKind::Wordcount), 0.0);
+        late.deadline_s = Some(100.0);
+        late.on_complete(120.0);
+        let mut unfinished = ClusterJob::new(2, BeSpec::of(BeKind::Wordcount), 0.0);
+        unfinished.deadline_s = Some(150.0);
+        let undated = ClusterJob::new(3, BeSpec::of(BeKind::Wordcount), 0.0);
+
+        assert!(!on_time.deadline_missed_at(300.0));
+        assert!(late.deadline_missed_at(300.0));
+        assert!(unfinished.deadline_missed_at(300.0), "out of time");
+        assert!(!unfinished.deadline_missed_at(100.0), "still has time");
+        assert!(!undated.deadline_missed_at(300.0));
+
+        let jobs = [on_time, late, unfinished, undated];
+        let s = JobStats::from_jobs_at(&jobs, 300.0);
+        assert_eq!(s.deadline_total, 3);
+        assert_eq!(s.deadline_missed, 2);
+        assert!((s.deadline_miss_rate - 2.0 / 3.0).abs() < 1e-12);
+        // Without a horizon only completed-late counts.
+        let s = JobStats::from_jobs(&jobs);
+        assert_eq!(s.deadline_missed, 1);
+    }
+
+    #[test]
+    fn gang_spec_expands_attributes() {
+        let js = JobSpec::solitary(BeSpec::of(BeKind::Wordcount))
+            .with_priority(2)
+            .with_deadline(120.0)
+            .with_gang(3);
+        assert_eq!(js.priority, 2);
+        assert_eq!(js.deadline_s, Some(120.0));
+        assert_eq!(js.gang, 3);
+        assert_eq!(JobSpec::solitary(BeSpec::of(BeKind::Wordcount)).with_gang(0).gang, 1);
     }
 
     #[test]

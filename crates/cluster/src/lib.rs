@@ -6,13 +6,16 @@
 //! *where* BE jobs go, and what happens to work a StopBE throws away — is
 //! left to "the cluster scheduler". This crate is that scheduler:
 //!
-//! * [`job`] — BE jobs with checkpoint-fraction progress, so completion
-//!   time and wasted work are first-class, measurable outcomes;
-//! * [`queue`] — the shared deterministic FIFO backlog with
-//!   requeue-to-front for killed work;
-//! * [`placement`] — pluggable policies: round-robin, least-pressure, and
+//! * [`job`] — BE jobs with checkpoint-fraction progress, priority
+//!   classes, deadlines and gang membership, so completion time, wasted
+//!   work and deadline-miss rate are first-class, measurable outcomes;
+//! * [`queue`] — the shared deterministic backlog: priority classes with
+//!   EDF inside each class, optional aging, and requeue-to-front for
+//!   killed work;
+//! * [`placement`] — pluggable policies: round-robin, least-pressure,
 //!   interference-score (predicted LC inflation via the calibrated
-//!   `rhythm-interference` sensitivities);
+//!   `rhythm-interference` sensitivities), and hetero-aware
+//!   (capacity-normalized with gang straggler penalties);
 //! * [`state`] — the N-machine cluster as service replicas, global
 //!   machine indexing, per-replica seed derivation;
 //! * [`runner`] — the parallel epoch-barrier runner: engines advance one
@@ -29,7 +32,7 @@ pub mod queue;
 pub mod runner;
 pub mod state;
 
-pub use job::{ClusterJob, JobId, JobState, JobStats};
+pub use job::{ClusterJob, JobId, JobSpec, JobState, JobStats};
 pub use metrics::{machine_fingerprints, ClusterMetrics, ClusterOutcome, ClusterTelemetry};
 pub use placement::{CandidateMachine, PlacementPolicy, Placer};
 pub use queue::JobQueue;

@@ -6,7 +6,7 @@ use crate::job::{ClusterJob, JobStats};
 use rhythm_core::metrics::RunMetrics;
 use rhythm_core::runtime::EngineOutput;
 use rhythm_sim::LatencyHistogram;
-use rhythm_telemetry::{TailPoint, TelemetryOutput};
+use rhythm_telemetry::{ClusterEvent, TailPoint, TelemetryOutput};
 use serde::{Deserialize, Serialize};
 
 /// Merged metrics of one cluster run.
@@ -45,13 +45,16 @@ pub struct ClusterMetrics {
 }
 
 impl ClusterMetrics {
-    /// Merges per-replica outputs and the job ledger.
+    /// Merges per-replica outputs and the job ledger. `horizon_s` is the
+    /// run length in virtual seconds: a job whose deadline fell inside
+    /// the window but did not finish by it counts as a deadline miss.
     pub fn merge(
         machines: usize,
         outputs: &[EngineOutput],
         per_replica: &[RunMetrics],
         jobs: &[ClusterJob],
         requeues: u64,
+        horizon_s: f64,
     ) -> ClusterMetrics {
         let replicas = per_replica.len().max(1) as f64;
         let mean = |f: &dyn Fn(&RunMetrics) -> f64| -> f64 {
@@ -83,7 +86,7 @@ impl ClusterMetrics {
             sla_violations: per_replica.iter().map(|m| m.sla_violations).sum(),
             be_kills: per_replica.iter().map(|m| m.be_kills).sum(),
             completed_requests: outputs.iter().map(|o| o.completed).sum(),
-            jobs: JobStats::from_jobs(jobs),
+            jobs: JobStats::from_jobs_at(jobs, horizon_s),
             requeues,
         }
     }
@@ -118,13 +121,21 @@ pub struct ClusterTelemetry {
     /// The cluster-wide tail series: per-engine epoch windows merged in
     /// fixed replica order at each barrier.
     pub cluster_tail: Vec<TailPoint>,
+    /// Cluster-scheduler events (gang lifecycle, deadline misses), in
+    /// emission order. Empty for homogeneous runs without gangs or
+    /// deadlines, keeping their exports byte-identical to older ones.
+    pub cluster_events: Vec<ClusterEvent>,
 }
 
 impl ClusterTelemetry {
     /// The full JSONL export (meta line, per-replica events/audit/tail,
-    /// merged cluster tail).
+    /// merged cluster tail, cluster-scheduler events).
     pub fn export_jsonl(&self) -> String {
-        rhythm_telemetry::export_jsonl(&self.replicas, &self.cluster_tail)
+        rhythm_telemetry::export_jsonl_with_events(
+            &self.replicas,
+            &self.cluster_tail,
+            &self.cluster_events,
+        )
     }
 
     /// The Chrome-trace (`chrome://tracing`) export.
@@ -184,7 +195,7 @@ mod tests {
     #[test]
     fn merge_of_nothing_is_benign() {
         let jobs: Vec<ClusterJob> = vec![ClusterJob::new(0, BeSpec::of(BeKind::Wordcount), 0.0)];
-        let m = ClusterMetrics::merge(4, &[], &[], &jobs, 0);
+        let m = ClusterMetrics::merge(4, &[], &[], &jobs, 0, 600.0);
         assert_eq!(m.machines, 4);
         assert_eq!(m.jobs.submitted, 1);
         assert_eq!(m.jobs.completed, 0);

@@ -14,6 +14,12 @@
 //!   probe instance of the job added, using the calibrated
 //!   `rhythm-interference` sensitivities, and pick the minimum (cf. the
 //!   scoring mechanism of the related microservice-interference work).
+//! * **HeteroAware** — the interference score divided by the machine's
+//!   normalized capacity headroom (free cores × max frequency against
+//!   the paper testbed), plus a straggler penalty that steers gang
+//!   members toward machines of similar capacity — a gang finishes when
+//!   its *slowest* member does, so co-placing a member on a much weaker
+//!   machine wastes the faster peers.
 
 use rhythm_interference::{InterferenceModel, Pressure};
 use rhythm_machine::Machine;
@@ -30,6 +36,9 @@ pub enum PlacementPolicy {
     LeastPressure,
     /// Lowest predicted LC inflation first.
     InterferenceScore,
+    /// Inflation weighted by capacity headroom plus a gang straggler
+    /// penalty (heterogeneous clusters).
+    HeteroAware,
 }
 
 impl PlacementPolicy {
@@ -39,6 +48,7 @@ impl PlacementPolicy {
             PlacementPolicy::RoundRobin => "round-robin",
             PlacementPolicy::LeastPressure => "least-pressure",
             PlacementPolicy::InterferenceScore => "interference-score",
+            PlacementPolicy::HeteroAware => "hetero-aware",
         }
     }
 
@@ -48,6 +58,7 @@ impl PlacementPolicy {
             "round-robin" | "rr" => Some(PlacementPolicy::RoundRobin),
             "least-pressure" | "lp" => Some(PlacementPolicy::LeastPressure),
             "interference-score" | "is" => Some(PlacementPolicy::InterferenceScore),
+            "hetero-aware" | "ha" => Some(PlacementPolicy::HeteroAware),
             _ => None,
         }
     }
@@ -96,6 +107,22 @@ impl Placer {
         eligible: &[CandidateMachine<'_>],
         specs: &BTreeMap<String, BeSpec>,
     ) -> Option<usize> {
+        self.choose_with_peers(job, eligible, specs, &[])
+    }
+
+    /// [`Placer::choose`] with gang context: `peer_caps` holds the
+    /// normalized capacities of machines already selected for sibling
+    /// instances of the same gang. Only `HeteroAware` uses it (to avoid
+    /// splitting a gang across machines of very different speeds); the
+    /// other policies ignore it entirely, so passing `&[]` makes this
+    /// identical to `choose`.
+    pub fn choose_with_peers(
+        &mut self,
+        job: &BeSpec,
+        eligible: &[CandidateMachine<'_>],
+        specs: &BTreeMap<String, BeSpec>,
+        peer_caps: &[f64],
+    ) -> Option<usize> {
         if eligible.is_empty() {
             return None;
         }
@@ -120,7 +147,39 @@ impl Placer {
                     (c.global, self.score(job, c, specs))
                 }))
             }
+            PlacementPolicy::HeteroAware => {
+                let peer_mean = if peer_caps.is_empty() {
+                    None
+                } else {
+                    Some(peer_caps.iter().sum::<f64>() / peer_caps.len() as f64)
+                };
+                Self::argmin(eligible.iter().map(|c| {
+                    let cap = Self::capacity(c.machine);
+                    let total = c.machine.spec().total_cores().max(1) as f64;
+                    let headroom = c.machine.free_core_count() as f64 / total;
+                    let mut s = self.score(job, c, specs) / (cap * headroom.max(0.05));
+                    if let Some(mean) = peer_mean {
+                        // A gang finishes with its slowest member: penalise
+                        // capacity mismatch against already-placed siblings.
+                        // Weighted to rival the inflation term, since a
+                        // straggler wastes every sibling's cycles.
+                        s += Self::STRAGGLER_WEIGHT * (cap - mean).abs();
+                    }
+                    (c.global, s)
+                }))
+            }
         }
+    }
+
+    /// How hard gang co-placement pulls toward capacity-matched peers
+    /// (per unit of normalized-capacity mismatch).
+    const STRAGGLER_WEIGHT: f64 = 2.0;
+
+    /// A machine's compute capacity normalized to the paper testbed
+    /// (40 cores × 2.0 GHz = 1.0).
+    pub fn capacity(machine: &Machine) -> f64 {
+        let spec = machine.spec();
+        spec.total_cores() as f64 * spec.max_freq_mhz as f64 / (40.0 * 2_000.0)
     }
 
     /// Predicted LC service-time inflation on `c` with one probe instance
@@ -274,5 +333,125 @@ mod tests {
         let mut p = Placer::new(PlacementPolicy::InterferenceScore, model);
         let expect = if sens[0].1 <= sens[1].1 { 0 } else { 1 };
         assert_eq!(p.choose(&job, &cands, &specs()), Some(expect));
+    }
+
+    #[test]
+    fn capacity_orders_machine_classes() {
+        let of = |s: MachineSpec| {
+            Machine::new(
+                s,
+                Allocation {
+                    cores: 8,
+                    llc_ways: 0,
+                    mem_mb: 16 * 1024,
+                    net_mbps: 1_000.0,
+                    freq_mhz: s.max_freq_mhz,
+                },
+            )
+        };
+        let dense = Placer::capacity(&of(MachineSpec::dense_compute()));
+        let paper = Placer::capacity(&of(MachineSpec::paper_testbed()));
+        let lean = Placer::capacity(&of(MachineSpec::lean_node()));
+        assert!((paper - 1.0).abs() < 1e-12, "testbed normalizes to 1");
+        assert!(dense > paper && paper > lean, "{dense} {paper} {lean}");
+    }
+
+    #[test]
+    fn hetero_aware_prefers_bigger_machine() {
+        // Identical load, identical component: the dense node should win
+        // purely on capacity headroom.
+        let svc = apps::ecommerce();
+        let small = Machine::new(
+            MachineSpec::lean_node(),
+            Allocation {
+                cores: 12,
+                llc_ways: 0,
+                mem_mb: 32 * 1024,
+                net_mbps: 1_000.0,
+                freq_mhz: 1_800,
+            },
+        );
+        let big = Machine::new(
+            MachineSpec::dense_compute(),
+            Allocation {
+                cores: 12,
+                llc_ways: 0,
+                mem_mb: 32 * 1024,
+                net_mbps: 1_000.0,
+                freq_mhz: 2_600,
+            },
+        );
+        let cands = [
+            CandidateMachine {
+                global: 0,
+                machine: &small,
+                component: &svc.nodes[0].component,
+            },
+            CandidateMachine {
+                global: 1,
+                machine: &big,
+                component: &svc.nodes[0].component,
+            },
+        ];
+        let mut p = Placer::new(PlacementPolicy::HeteroAware, InterferenceModel::calibrated());
+        let job = BeSpec::of(BeKind::Wordcount);
+        assert_eq!(p.choose(&job, &cands, &specs()), Some(1));
+    }
+
+    #[test]
+    fn gang_peers_pull_toward_similar_capacity() {
+        let svc = apps::ecommerce();
+        let mid = Machine::new(
+            MachineSpec::paper_testbed(),
+            Allocation {
+                cores: 12,
+                llc_ways: 0,
+                mem_mb: 32 * 1024,
+                net_mbps: 1_000.0,
+                freq_mhz: 2_000,
+            },
+        );
+        let big = Machine::new(
+            MachineSpec::dense_compute(),
+            Allocation {
+                cores: 12,
+                llc_ways: 0,
+                mem_mb: 32 * 1024,
+                net_mbps: 1_000.0,
+                freq_mhz: 2_600,
+            },
+        );
+        let cands = [
+            CandidateMachine {
+                global: 0,
+                machine: &mid,
+                component: &svc.nodes[0].component,
+            },
+            CandidateMachine {
+                global: 1,
+                machine: &big,
+                component: &svc.nodes[0].component,
+            },
+        ];
+        let job = BeSpec::of(BeKind::Wordcount);
+        let model = InterferenceModel::calibrated();
+        let mut p = Placer::new(PlacementPolicy::HeteroAware, model);
+        // Alone, the big machine wins…
+        assert_eq!(p.choose_with_peers(&job, &cands, &specs(), &[]), Some(1));
+        // …but with siblings already placed on lean nodes the straggler
+        // penalty pulls the next member toward the closer-matched machine.
+        let lean = Machine::new(
+            MachineSpec::lean_node(),
+            Allocation {
+                cores: 12,
+                llc_ways: 0,
+                mem_mb: 16 * 1024,
+                net_mbps: 1_000.0,
+                freq_mhz: 1_800,
+            },
+        );
+        let lean_cap = Placer::capacity(&lean);
+        let with_peers = p.choose_with_peers(&job, &cands, &specs(), &[lean_cap; 4]);
+        assert_eq!(with_peers, Some(0), "gang members cluster by capacity");
     }
 }

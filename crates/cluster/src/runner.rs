@@ -14,17 +14,22 @@
 //!
 //! Epoch protocol (epoch = controller period, paper: 2 s):
 //!
-//! 1. *Dispatch* — withdraw offers no controller consumed, then offer
-//!    queued jobs to machines signalling AllowBEGrowth, one per machine,
-//!    placed by the configured policy.
+//! 1. *Dispatch* — withdraw offers no controller consumed (forming-gang
+//!    offers persist), then offer queued jobs to machines signalling
+//!    AllowBEGrowth, one per machine, placed by the configured policy. A
+//!    gang needs one eligible machine per live member or it goes back to
+//!    the queue untouched (all-or-nothing).
 //! 2. *Run* — every engine processes events up to the epoch end in
 //!    parallel (the controller tick at the boundary is included).
-//! 3. *Merge* — in replica order: sync BE progress to the boundary, bind
-//!    admissions to their offered jobs, roll killed jobs back to their
-//!    checkpoint and requeue them, and retire jobs whose progress
-//!    reached 1.0.
+//! 3. *Merge* — sync every engine's BE progress to the boundary, then in
+//!    replica order bind admissions to their offered jobs, roll killed
+//!    jobs back to their checkpoint and requeue them, and retire jobs
+//!    whose progress reached 1.0. A gang lifecycle pass follows: gangs
+//!    whose members all run are *formed*; a killed member — or patience
+//!    running out while forming — aborts the whole gang, rolling every
+//!    running member back to its checkpoint and requeueing the gang.
 
-use crate::job::{ClusterJob, JobState};
+use crate::job::{ClusterJob, JobId, JobState};
 use crate::metrics::{machine_fingerprints, ClusterMetrics, ClusterOutcome, ClusterTelemetry};
 use crate::placement::{CandidateMachine, Placer};
 use crate::queue::JobQueue;
@@ -36,9 +41,9 @@ use rhythm_core::metrics::RunMetrics;
 use rhythm_core::runtime::Engine;
 use rhythm_machine::machine::BeInstanceId;
 use rhythm_sim::{LatencyHistogram, SimDuration, SimTime};
-use rhythm_telemetry::TailPoint;
+use rhythm_telemetry::{ClusterEvent, ClusterEventKind, TailPoint};
 use rhythm_workloads::BeSpec;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -91,13 +96,396 @@ impl SpinBarrier {
     }
 }
 
+/// Lifecycle bookkeeping for one gang-scheduled job.
+#[derive(Clone, Debug)]
+struct GangTracker {
+    /// Member job ids, in submission order (the first live member acts
+    /// as the gang's representative in the queue).
+    members: Vec<JobId>,
+    /// Epochs left before a forming gang gives up and requeues.
+    patience_left: u32,
+    /// Offers are out but not every live member runs yet.
+    forming: bool,
+}
+
+/// All cluster-level scheduling state: the job ledger, the shared queue,
+/// the placer, outstanding offers, instance→job bindings and gang
+/// trackers. Mutated only at the epoch barrier (single-threaded, fixed
+/// iteration order), so every decision is deterministic.
+struct Scheduler<'c> {
+    cfg: &'c ClusterConfig,
+    pods: usize,
+    jobs: Vec<ClusterJob>,
+    queue: JobQueue,
+    placer: Placer,
+    catalog: BTreeMap<String, BeSpec>,
+    /// Per-machine outstanding offer (global index → job id).
+    offered: Vec<Option<JobId>>,
+    /// (global machine, instance) → job currently running there.
+    bindings: BTreeMap<(usize, BeInstanceId), JobId>,
+    /// Gang id → tracker, for every gang entry of the plan.
+    gangs: BTreeMap<u32, GangTracker>,
+    /// Scheduler events (gang lifecycle, deadline misses), emission
+    /// order. Only populated when telemetry is enabled.
+    events: Vec<ClusterEvent>,
+}
+
+impl<'c> Scheduler<'c> {
+    /// Builds the job ledger from the config's effective plan (gang
+    /// entries expand to their instance count) and queues the work:
+    /// solitary jobs directly, gangs through their first member.
+    fn new(cfg: &'c ClusterConfig, pods: usize, managed: bool) -> Scheduler<'c> {
+        let mut jobs: Vec<ClusterJob> = Vec::new();
+        let mut gangs = BTreeMap::new();
+        for (entry, spec) in cfg.effective_plan().iter().enumerate() {
+            let k = spec.gang.max(1);
+            let gang_id = (k > 1).then_some(entry as u32);
+            let mut members = Vec::with_capacity(k as usize);
+            for _ in 0..k {
+                let id = jobs.len() as JobId;
+                let mut j = ClusterJob::new(id, spec.spec.clone(), 0.0);
+                j.priority = spec.priority;
+                j.deadline_s = spec.deadline_s;
+                j.gang = gang_id;
+                members.push(id);
+                jobs.push(j);
+            }
+            if let Some(gid) = gang_id {
+                gangs.insert(
+                    gid,
+                    GangTracker {
+                        members,
+                        patience_left: cfg.gang_patience_epochs.max(1),
+                        forming: false,
+                    },
+                );
+            }
+        }
+        let mut queue = match cfg.queue_aging_s {
+            Some(aging) => JobQueue::with_aging(aging),
+            None => JobQueue::new(),
+        };
+        if managed {
+            for j in &jobs {
+                match j.gang {
+                    // One queue entry per gang: its first member.
+                    Some(gid) => {
+                        if gangs[&gid].members[0] == j.id {
+                            queue.submit_with(j.id, j.priority, j.deadline_s, 0.0);
+                        }
+                    }
+                    None => queue.submit_with(j.id, j.priority, j.deadline_s, 0.0),
+                }
+            }
+        }
+        Scheduler {
+            cfg,
+            pods,
+            jobs,
+            queue,
+            placer: Placer::new(
+                cfg.policy,
+                rhythm_interference::InterferenceModel::calibrated(),
+            ),
+            catalog: cfg.catalog(),
+            offered: vec![None; cfg.machines],
+            bindings: BTreeMap::new(),
+            gangs,
+            events: Vec::new(),
+        }
+    }
+
+    /// Member ids of gang `gid` that have not finished.
+    fn live_members(&self, gid: u32) -> Vec<JobId> {
+        self.gangs[&gid]
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| self.jobs[m as usize].state != JobState::Done)
+            .collect()
+    }
+
+    /// Marks `jid` finished, recording a deadline-miss event if it
+    /// completed past its deadline.
+    fn complete(&mut self, jid: JobId, now_s: f64) {
+        self.jobs[jid as usize].on_complete(now_s);
+        let job = &self.jobs[jid as usize];
+        if self.cfg.telemetry.enabled && job.deadline_missed_at(now_s) {
+            self.events.push(ClusterEvent {
+                t_s: now_s,
+                kind: ClusterEventKind::DeadlineMiss,
+                job: jid,
+                gang: job.gang,
+            });
+        }
+    }
+
+    /// Epoch step 1: withdraw unconsumed solitary offers, then place
+    /// queued jobs on machines signalling AllowBEGrowth (one offer per
+    /// machine per epoch; a gang claims one machine per live member,
+    /// all-or-nothing).
+    ///
+    /// Runs on the main thread while the workers are parked at the epoch
+    /// barrier, so the engine locks are uncontended.
+    fn dispatch(&mut self, engines: &mut [MutexGuard<'_, Engine>], now_s: f64) {
+        self.queue.age(now_s);
+        // Withdraw offers the controllers did not consume last epoch, in
+        // reverse global order so the requeue-to-front restores the
+        // original relative order. Offers of forming gangs stay out —
+        // their patience counter bounds the wait instead.
+        for g in (0..self.cfg.machines).rev() {
+            let Some(jid) = self.offered[g] else { continue };
+            if self.jobs[jid as usize].gang.is_some() {
+                continue;
+            }
+            self.offered[g] = None;
+            let r = machine_ref(g, self.pods);
+            engines[r.replica].set_be_offer(r.pod, None);
+            self.jobs[jid as usize].state = JobState::Queued;
+            self.queue.requeue_at(jid, now_s);
+        }
+        // Offer queued work while eligible machines remain.
+        let mut taken = vec![false; self.cfg.machines];
+        let mut assignments: Vec<(usize, JobId)> = Vec::new();
+        while let Some(jid) = self.queue.pop() {
+            let members: Vec<JobId> = match self.jobs[jid as usize].gang {
+                Some(gid) => self.live_members(gid),
+                None => vec![jid],
+            };
+            let spec = self.jobs[jid as usize].spec.clone();
+            let mut chosen: Vec<usize> = Vec::new();
+            let mut peer_caps: Vec<f64> = Vec::new();
+            for _ in 0..members.len() {
+                let pick = {
+                    let candidates: Vec<CandidateMachine<'_>> = (0..self.cfg.machines)
+                        .filter(|&g| {
+                            !taken[g]
+                                && self.offered[g].is_none()
+                                && allows_growth(engines, g, self.pods)
+                        })
+                        .map(|g| {
+                            let r = machine_ref(g, self.pods);
+                            CandidateMachine {
+                                global: g,
+                                machine: engines[r.replica].machine(r.pod),
+                                component: &engines[r.replica].service().nodes[r.pod].component,
+                            }
+                        })
+                        .collect();
+                    self.placer
+                        .choose_with_peers(&spec, &candidates, &self.catalog, &peer_caps)
+                };
+                match pick {
+                    Some(g) => {
+                        taken[g] = true;
+                        let r = machine_ref(g, self.pods);
+                        peer_caps.push(Placer::capacity(engines[r.replica].machine(r.pod)));
+                        chosen.push(g);
+                    }
+                    None => break,
+                }
+            }
+            if chosen.len() < members.len() {
+                // Not enough eligible machines this epoch (for a gang:
+                // all-or-nothing); release any partial claim and put the
+                // job back at the front of its class.
+                for g in chosen {
+                    taken[g] = false;
+                }
+                self.queue.requeue_at(jid, now_s);
+                break;
+            }
+            for (&g, &m) in chosen.iter().zip(&members) {
+                assignments.push((g, m));
+            }
+            if let Some(gid) = self.jobs[jid as usize].gang {
+                let tracker = self.gangs.get_mut(&gid).expect("gang tracked");
+                tracker.forming = true;
+                tracker.patience_left = self.cfg.gang_patience_epochs.max(1);
+            }
+        }
+        for (g, jid) in assignments {
+            let r = machine_ref(g, self.pods);
+            self.offered[g] = Some(jid);
+            self.jobs[jid as usize].state = JobState::Offered(g);
+            let spec = self.jobs[jid as usize].spec.clone();
+            let priority = self.jobs[jid as usize].priority;
+            engines[r.replica].set_be_offer_prio(r.pod, Some((spec, priority)));
+        }
+    }
+
+    /// Epoch step 3: the deterministic merge at the barrier.
+    fn merge(&mut self, engines: &mut [MutexGuard<'_, Engine>], now: SimTime) {
+        let now_s = now.as_secs_f64();
+        // Progress through the end of the epoch first, for *every*
+        // engine, with the allocations that were actually in force —
+        // after this, reading or mutating BE state (including the
+        // cross-replica gang rollback below) cannot mis-attribute any
+        // fraction of the tick.
+        for engine in engines.iter_mut() {
+            engine.sync_be_progress(now);
+        }
+        let mut dirty_gangs: BTreeSet<u32> = BTreeSet::new();
+        for (r, engine) in engines.iter_mut().enumerate() {
+            // Admissions: bind each new instance to the job offered to
+            // its machine.
+            for adm in engine.take_be_admissions() {
+                let g = global_index(r, adm.machine, self.pods);
+                if let Some(jid) = self.offered[g].take() {
+                    self.bindings.insert((g, adm.instance), jid);
+                    self.jobs[jid as usize].state = JobState::Running(g);
+                    engine.set_be_offer(adm.machine, None);
+                }
+            }
+            // Kills: roll back to the checkpoint and requeue — unless the
+            // instance had in fact already finished the job by kill time.
+            // A killed gang member marks its gang for the abort pass.
+            for kill in engine.take_be_kills() {
+                let g = global_index(r, kill.machine, self.pods);
+                if let Some(jid) = self.bindings.remove(&(g, kill.instance)) {
+                    if self.jobs[jid as usize].total_progress(kill.progress) >= 1.0 {
+                        self.complete(jid, now_s);
+                    } else {
+                        let job = &mut self.jobs[jid as usize];
+                        job.on_kill(kill.progress, self.cfg.checkpoint_fraction);
+                        match job.gang {
+                            Some(gid) => {
+                                dirty_gangs.insert(gid);
+                            }
+                            None => self.queue.requeue_at(jid, now_s),
+                        }
+                    }
+                }
+            }
+            // Completions: retire bound instances whose job reached 1.0.
+            let lo = (global_index(r, 0, self.pods), BeInstanceId::MIN);
+            let hi = (global_index(r + 1, 0, self.pods), BeInstanceId::MIN);
+            let bound: Vec<(usize, BeInstanceId, JobId)> = self
+                .bindings
+                .range(lo..hi)
+                .map(|(&(g, inst), &jid)| (g, inst, jid))
+                .collect();
+            for (g, inst, jid) in bound {
+                let pod = machine_ref(g, self.pods).pod;
+                let done = engine.be_progress(pod, inst).unwrap_or(0.0);
+                if self.jobs[jid as usize].total_progress(done) >= 1.0 {
+                    engine.remove_be(pod, inst);
+                    self.complete(jid, now_s);
+                    self.bindings.remove(&(g, inst));
+                }
+            }
+        }
+        self.gang_pass(engines, &dirty_gangs, now_s);
+    }
+
+    /// The gang lifecycle pass, in gang-id order: aborts gangs with a
+    /// killed member, marks gangs whose live members all run as formed,
+    /// and counts down (then aborts) the patience of still-forming ones.
+    fn gang_pass(
+        &mut self,
+        engines: &mut [MutexGuard<'_, Engine>],
+        dirty: &BTreeSet<u32>,
+        now_s: f64,
+    ) {
+        let gids: Vec<u32> = self.gangs.keys().copied().collect();
+        for gid in gids {
+            if dirty.contains(&gid) {
+                self.abort_gang(gid, engines, now_s);
+                continue;
+            }
+            if !self.gangs[&gid].forming {
+                continue;
+            }
+            let live = self.live_members(gid);
+            if live
+                .iter()
+                .all(|&m| matches!(self.jobs[m as usize].state, JobState::Running(_)))
+            {
+                self.gangs.get_mut(&gid).expect("gang tracked").forming = false;
+                if self.cfg.telemetry.enabled {
+                    self.events.push(ClusterEvent {
+                        t_s: now_s,
+                        kind: ClusterEventKind::GangFormed,
+                        job: live.first().copied().unwrap_or_default(),
+                        gang: Some(gid),
+                    });
+                }
+            } else {
+                let tracker = self.gangs.get_mut(&gid).expect("gang tracked");
+                tracker.patience_left = tracker.patience_left.saturating_sub(1);
+                if tracker.patience_left == 0 {
+                    self.abort_gang(gid, engines, now_s);
+                }
+            }
+        }
+    }
+
+    /// Atomically rolls gang `gid` back: withdraws its outstanding
+    /// offers, kills its running members (progress rolls back to the
+    /// last checkpoint; the loss counts as wasted work) and requeues the
+    /// gang through its first live member.
+    fn abort_gang(&mut self, gid: u32, engines: &mut [MutexGuard<'_, Engine>], now_s: f64) {
+        let live = self.live_members(gid);
+        for &m in &live {
+            match self.jobs[m as usize].state {
+                JobState::Offered(g) => {
+                    self.offered[g] = None;
+                    let r = machine_ref(g, self.pods);
+                    engines[r.replica].set_be_offer(r.pod, None);
+                    self.jobs[m as usize].state = JobState::Queued;
+                }
+                JobState::Running(g) => {
+                    let range = (g, BeInstanceId::MIN)..(g + 1, BeInstanceId::MIN);
+                    let inst = self
+                        .bindings
+                        .range(range)
+                        .find(|&(_, &jid)| jid == m)
+                        .map(|(&(_, inst), _)| inst);
+                    if let Some(inst) = inst {
+                        let r = machine_ref(g, self.pods);
+                        // Progress was synced for all engines at the top
+                        // of the merge, so the rollback banks exactly
+                        // what ran.
+                        let progress = engines[r.replica].be_progress(r.pod, inst).unwrap_or(0.0);
+                        engines[r.replica].remove_be(r.pod, inst);
+                        self.bindings.remove(&(g, inst));
+                        self.jobs[m as usize].on_kill(progress, self.cfg.checkpoint_fraction);
+                    }
+                }
+                JobState::Queued | JobState::Done => {}
+            }
+        }
+        let tracker = self.gangs.get_mut(&gid).expect("gang tracked");
+        tracker.forming = false;
+        tracker.patience_left = self.cfg.gang_patience_epochs.max(1);
+        if let Some(&leader) = live.first() {
+            // The original leader may have finished; make sure the new
+            // representative carries the gang's class and deadline into
+            // the queue.
+            let job = &self.jobs[leader as usize];
+            self.queue
+                .adopt(leader, job.priority, job.deadline_s, job.submitted_s);
+            self.queue.requeue_at(leader, now_s);
+            if self.cfg.telemetry.enabled {
+                self.events.push(ClusterEvent {
+                    t_s: now_s,
+                    kind: ClusterEventKind::GangAborted,
+                    job: leader,
+                    gang: Some(gid),
+                });
+            }
+        }
+    }
+}
+
 /// Runs one cluster experiment: `cfg.machines` machines under `choice`,
 /// with the shared BE backlog dispatched by `cfg.policy`.
 ///
 /// # Panics
 ///
 /// Panics if `cfg.machines` is not a positive multiple of the service's
-/// Servpod count.
+/// Servpod count, or if `cfg.machine_specs` is non-empty but does not
+/// hold exactly one spec per machine.
 pub fn run_cluster(
     ctx: &ServiceContext,
     choice: &ControllerChoice,
@@ -107,6 +495,12 @@ pub fn run_cluster(
     assert!(
         cfg.machines >= pods && cfg.machines.is_multiple_of(pods),
         "cluster size {} must be a positive multiple of the service's {pods} Servpods",
+        cfg.machines
+    );
+    assert!(
+        cfg.machine_specs.is_empty() || cfg.machine_specs.len() == cfg.machines,
+        "machine_specs holds {} specs for {} machines",
+        cfg.machine_specs.len(),
         cfg.machines
     );
     let replicas = cfg.machines / pods;
@@ -126,30 +520,16 @@ pub fn run_cluster(
             ec.seed = replica_seed(cfg.seed, r);
             ec.external_be = managed;
             ec.telemetry = cfg.telemetry;
+            ec.growth.priority_preemption = cfg.priority_preemption;
+            if !cfg.machine_specs.is_empty() {
+                // This replica's slice of the per-machine hardware.
+                ec.machine_specs = cfg.machine_specs[r * pods..(r + 1) * pods].to_vec();
+            }
             Engine::new(std::sync::Arc::clone(&ctx.service), ec)
         })
         .collect();
 
-    let mut jobs: Vec<ClusterJob> = (0..cfg.total_jobs())
-        .map(|i| {
-            ClusterJob::new(
-                i as u64,
-                cfg.be_mix[i % cfg.be_mix.len()].clone(),
-                0.0,
-            )
-        })
-        .collect();
-    let mut queue = JobQueue::new();
-    if managed {
-        for j in &jobs {
-            queue.submit(j.id);
-        }
-    }
-    let catalog = cfg.catalog();
-    let mut placer = Placer::new(cfg.policy, rhythm_interference::InterferenceModel::calibrated());
-    // Per-machine offered job and instance → job bindings.
-    let mut offered: Vec<Option<u64>> = vec![None; cfg.machines];
-    let mut bindings: BTreeMap<(usize, BeInstanceId), u64> = BTreeMap::new();
+    let mut sched = Scheduler::new(cfg, pods, managed);
 
     let epoch = SimDuration::from_millis(cfg.controller_period_ms.max(100));
     let end = SimTime::ZERO + SimDuration::from_secs(cfg.duration_s);
@@ -205,25 +585,13 @@ pub fn run_cluster(
             if managed {
                 let mut guards: Vec<MutexGuard<'_, Engine>> =
                     slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
-                dispatch(
-                    &mut guards, &mut jobs, &mut queue, &mut placer, &mut offered, &catalog, pods,
-                    cfg.machines,
-                );
+                sched.dispatch(&mut guards, t.as_secs_f64());
             }
             let next = (t + epoch).min(end);
             run_to(next);
             let mut guards: Vec<MutexGuard<'_, Engine>> =
                 slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
-            merge(
-                &mut guards,
-                &mut jobs,
-                &mut queue,
-                &mut bindings,
-                &mut offered,
-                next,
-                pods,
-                cfg.checkpoint_fraction,
-            );
+            sched.merge(&mut guards, next);
             // Telemetry at the barrier, always single-threaded and in
             // fixed replica order: mark the epoch in every recorder, then
             // merge the per-engine tail windows the controller tick just
@@ -269,8 +637,9 @@ pub fn run_cluster(
         cfg.machines,
         &outputs,
         &per_replica,
-        &jobs,
-        queue.requeue_count(),
+        &sched.jobs,
+        sched.queue.requeue_count(),
+        cfg.duration_s as f64,
     );
     let telemetry = cfg.telemetry.enabled.then(|| ClusterTelemetry {
         replicas: outputs
@@ -278,11 +647,12 @@ pub fn run_cluster(
             .map(|o| o.telemetry.take().unwrap_or_default())
             .collect(),
         cluster_tail,
+        cluster_events: std::mem::take(&mut sched.events),
     });
     ClusterOutcome {
         metrics,
         per_replica,
-        jobs,
+        jobs: sched.jobs,
         fingerprints,
         telemetry,
     }
@@ -297,73 +667,6 @@ pub fn compare_cluster(ctx: &ServiceContext, cfg: &ClusterConfig) -> (ClusterOut
     )
 }
 
-/// Epoch step 1: withdraw unconsumed offers, then place queued jobs on
-/// machines signalling AllowBEGrowth (one offer per machine per epoch).
-///
-/// Runs on the main thread while the workers are parked at the epoch
-/// barrier, so the engine locks are uncontended.
-#[allow(clippy::too_many_arguments)]
-fn dispatch(
-    engines: &mut [MutexGuard<'_, Engine>],
-    jobs: &mut [ClusterJob],
-    queue: &mut JobQueue,
-    placer: &mut Placer,
-    offered: &mut [Option<u64>],
-    catalog: &BTreeMap<String, BeSpec>,
-    pods: usize,
-    machines: usize,
-) {
-    // Withdraw offers the controllers did not consume last epoch, in
-    // reverse global order so the requeue-to-front restores the original
-    // relative order.
-    for g in (0..machines).rev() {
-        if let Some(jid) = offered[g].take() {
-            let r = machine_ref(g, pods);
-            engines[r.replica].set_be_offer(r.pod, None);
-            jobs[jid as usize].state = JobState::Queued;
-            queue.requeue(jid);
-        }
-    }
-    // Offer queued jobs while eligible machines remain.
-    let mut taken = vec![false; machines];
-    let mut assignments: Vec<(usize, u64)> = Vec::new();
-    while let Some(jid) = queue.pop() {
-        let spec = jobs[jid as usize].spec.clone();
-        let pick = {
-            let candidates: Vec<CandidateMachine<'_>> = (0..machines)
-                .filter(|&g| !taken[g] && allows_growth(engines, g, pods))
-                .map(|g| {
-                    let r = machine_ref(g, pods);
-                    CandidateMachine {
-                        global: g,
-                        machine: engines[r.replica].machine(r.pod),
-                        component: &engines[r.replica].service().nodes[r.pod].component,
-                    }
-                })
-                .collect();
-            placer.choose(&spec, &candidates, catalog)
-        };
-        match pick {
-            Some(g) => {
-                taken[g] = true;
-                assignments.push((g, jid));
-            }
-            None => {
-                // No eligible machine left this epoch; put the job back.
-                queue.requeue(jid);
-                break;
-            }
-        }
-    }
-    for (g, jid) in assignments {
-        let r = machine_ref(g, pods);
-        offered[g] = Some(jid);
-        jobs[jid as usize].state = JobState::Offered(g);
-        let spec = jobs[jid as usize].spec.clone();
-        engines[r.replica].set_be_offer(r.pod, Some(spec));
-    }
-}
-
 /// A machine is eligible for new BE work when its controller currently
 /// allows growth (or has not ticked yet — the run just started).
 fn allows_growth(engines: &[MutexGuard<'_, Engine>], global: usize, pods: usize) -> bool {
@@ -374,71 +677,12 @@ fn allows_growth(engines: &[MutexGuard<'_, Engine>], global: usize, pods: usize)
     }
 }
 
-/// Epoch step 3: the deterministic merge at the barrier.
-#[allow(clippy::too_many_arguments)]
-fn merge(
-    engines: &mut [MutexGuard<'_, Engine>],
-    jobs: &mut [ClusterJob],
-    queue: &mut JobQueue,
-    bindings: &mut BTreeMap<(usize, BeInstanceId), u64>,
-    offered: &mut [Option<u64>],
-    now: SimTime,
-    pods: usize,
-    ckpt_fraction: f64,
-) {
-    let now_s = now.as_secs_f64();
-    for (r, engine) in engines.iter_mut().enumerate() {
-        // Progress through the end of the epoch, with the allocations
-        // that were actually in force — after this, reading or mutating
-        // BE state cannot mis-attribute any fraction of the tick.
-        engine.sync_be_progress(now);
-        // Admissions: bind each new instance to the job offered to its
-        // machine.
-        for adm in engine.take_be_admissions() {
-            let g = global_index(r, adm.machine, pods);
-            if let Some(jid) = offered[g].take() {
-                bindings.insert((g, adm.instance), jid);
-                jobs[jid as usize].state = JobState::Running(g);
-                engine.set_be_offer(adm.machine, None);
-            }
-        }
-        // Kills: roll back to the checkpoint and requeue — unless the
-        // instance had in fact already finished the job by kill time.
-        for kill in engine.take_be_kills() {
-            let g = global_index(r, kill.machine, pods);
-            if let Some(jid) = bindings.remove(&(g, kill.instance)) {
-                let job = &mut jobs[jid as usize];
-                if job.total_progress(kill.progress) >= 1.0 {
-                    job.on_complete(now_s);
-                } else {
-                    job.on_kill(kill.progress, ckpt_fraction);
-                    queue.requeue(jid);
-                }
-            }
-        }
-        // Completions: retire bound instances whose job reached 1.0.
-        let lo = (global_index(r, 0, pods), BeInstanceId::MIN);
-        let hi = (global_index(r + 1, 0, pods), BeInstanceId::MIN);
-        let bound: Vec<(usize, BeInstanceId, u64)> = bindings
-            .range(lo..hi)
-            .map(|(&(g, inst), &jid)| (g, inst, jid))
-            .collect();
-        for (g, inst, jid) in bound {
-            let pod = machine_ref(g, pods).pod;
-            let done = engine.be_progress(pod, inst).unwrap_or(0.0);
-            if jobs[jid as usize].total_progress(done) >= 1.0 {
-                engine.remove_be(pod, inst);
-                jobs[jid as usize].on_complete(now_s);
-                bindings.remove(&(g, inst));
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::JobSpec;
     use crate::placement::PlacementPolicy;
+    use rhythm_machine::MachineSpec;
     use rhythm_workloads::{apps, BeKind};
 
     fn ctx() -> ServiceContext {
@@ -489,5 +733,60 @@ mod tests {
         let mut c = small_cfg();
         c.machines = 3; // solr has 2 Servpods
         run_cluster(&ctx, &ControllerChoice::Rhythm, &c);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine_specs")]
+    fn wrong_spec_count_rejected() {
+        let ctx = ctx();
+        let mut c = small_cfg();
+        c.machine_specs = vec![MachineSpec::paper_testbed()]; // 2 machines
+        run_cluster(&ctx, &ControllerChoice::Rhythm, &c);
+    }
+
+    #[test]
+    fn hetero_gang_cluster_completes() {
+        let ctx = ctx();
+        let mut c = small_cfg();
+        c.machine_specs = vec![MachineSpec::dense_compute(), MachineSpec::lean_node()];
+        c.policy = PlacementPolicy::HeteroAware;
+        c.priority_preemption = true;
+        c.queue_aging_s = Some(30.0);
+        let spec = c.be_mix[0].clone();
+        c.job_plan = vec![
+            JobSpec::solitary(spec.clone()).with_priority(1).with_deadline(60.0),
+            JobSpec::solitary(spec.clone()).with_gang(2),
+            JobSpec::solitary(spec),
+        ];
+        let out = run_cluster(&ctx, &ControllerChoice::Rhythm, &c);
+        assert_eq!(out.metrics.jobs.submitted, 4, "gang counts both members");
+        assert_eq!(out.metrics.jobs.deadline_total, 1);
+        assert!(
+            out.metrics.jobs.completed > 0,
+            "hetero cluster still completes work: {:?}",
+            out.metrics.jobs
+        );
+        // Gang members either both finished or neither did (atomicity).
+        let members: Vec<&ClusterJob> =
+            out.jobs.iter().filter(|j| j.gang.is_some()).collect();
+        assert_eq!(members.len(), 2);
+    }
+
+    #[test]
+    fn gang_members_never_run_alone_for_long() {
+        // With only 2 machines and patience 1, a gang of 2 either forms
+        // or aborts within an epoch — its members must never end the run
+        // split (one done, one never started) without the abort pass
+        // having rolled the runner back.
+        let ctx = ctx();
+        let mut c = small_cfg();
+        c.gang_patience_epochs = 1;
+        let spec = c.be_mix[0].clone();
+        c.job_plan = vec![JobSpec::solitary(spec).with_gang(2)];
+        let out = run_cluster(&ctx, &ControllerChoice::Rhythm, &c);
+        assert_eq!(out.metrics.jobs.submitted, 2);
+        for j in &out.jobs {
+            assert_eq!(j.gang, Some(0));
+        }
     }
 }

@@ -7,7 +7,9 @@
 //! RNG streams); the cluster layer addresses machines by a **global
 //! index** `replica * pods + pod`.
 
+use crate::job::JobSpec;
 use crate::placement::PlacementPolicy;
+use rhythm_machine::MachineSpec;
 use rhythm_telemetry::TelemetryConfig;
 use rhythm_workloads::{BeKind, BeSpec, LoadGen};
 use std::collections::BTreeMap;
@@ -72,6 +74,25 @@ pub struct ClusterConfig {
     /// Telemetry collection in every replica engine (plus the merged
     /// cluster tail series). Disabled by default.
     pub telemetry: TelemetryConfig,
+    /// Per-machine hardware overrides, indexed by **global machine
+    /// index**. Empty (the default) keeps every machine on the engines'
+    /// uniform spec; non-empty must hold one spec per machine.
+    pub machine_specs: Vec<MachineSpec>,
+    /// Explicit job plan. Empty (the default) derives the classic
+    /// backlog: `jobs_per_machine × machines` solitary best-effort jobs
+    /// cycling through `be_mix`. Non-empty replaces it with the listed
+    /// entries (gang entries expand to their instance count).
+    pub job_plan: Vec<JobSpec>,
+    /// Priority-aware preemption in the per-machine controllers: StopBE
+    /// kills only the lowest-priority class and CutBE shrinks only the
+    /// lowest class. Off by default (paper behaviour).
+    pub priority_preemption: bool,
+    /// Queue aging: a waiting job rises one priority class per this many
+    /// virtual seconds (anti-starvation). `None` disables aging.
+    pub queue_aging_s: Option<f64>,
+    /// Epochs a forming gang may wait for all of its instances to be
+    /// admitted before the dispatcher aborts and requeues it.
+    pub gang_patience_epochs: u32,
 }
 
 impl ClusterConfig {
@@ -95,15 +116,24 @@ impl ClusterConfig {
                 BeSpec::of(BeKind::Lstm),
             ],
             telemetry: TelemetryConfig::disabled(),
+            machine_specs: Vec::new(),
+            job_plan: Vec::new(),
+            priority_preemption: false,
+            queue_aging_s: None,
+            gang_patience_epochs: 4,
         }
     }
 
-    /// Scales every job in the mix to `factor` of its solo runtime
-    /// (pressure characteristics unchanged). Short runs use this so
-    /// completion-time distributions are observable inside the window.
+    /// Scales every job in the mix (and any explicit plan) to `factor`
+    /// of its solo runtime (pressure characteristics unchanged). Short
+    /// runs use this so completion-time distributions are observable
+    /// inside the window.
     pub fn with_scaled_jobs(mut self, factor: f64) -> ClusterConfig {
         for spec in &mut self.be_mix {
             spec.job_seconds = (spec.job_seconds * factor).max(1.0);
+        }
+        for entry in &mut self.job_plan {
+            entry.spec.job_seconds = (entry.spec.job_seconds * factor).max(1.0);
         }
         self
     }
@@ -112,13 +142,30 @@ impl ClusterConfig {
     pub fn catalog(&self) -> BTreeMap<String, BeSpec> {
         self.be_mix
             .iter()
+            .chain(self.job_plan.iter().map(|e| &e.spec))
             .map(|s| (s.name.clone(), s.clone()))
             .collect()
     }
 
-    /// Total jobs in the backlog.
+    /// The effective job plan: the explicit `job_plan` when set,
+    /// otherwise the classic derived backlog (`jobs_per_machine ×
+    /// machines` solitary best-effort jobs cycling through `be_mix`).
+    pub fn effective_plan(&self) -> Vec<JobSpec> {
+        if !self.job_plan.is_empty() {
+            return self.job_plan.clone();
+        }
+        (0..self.jobs_per_machine as usize * self.machines)
+            .map(|i| JobSpec::solitary(self.be_mix[i % self.be_mix.len()].clone()))
+            .collect()
+    }
+
+    /// Total jobs in the backlog (gang entries count every instance).
     pub fn total_jobs(&self) -> usize {
-        self.jobs_per_machine as usize * self.machines
+        if self.job_plan.is_empty() {
+            self.jobs_per_machine as usize * self.machines
+        } else {
+            self.job_plan.iter().map(|e| e.gang.max(1) as usize).sum()
+        }
     }
 }
 
@@ -145,6 +192,29 @@ mod tests {
                 assert_ne!(seeds[i], seeds[j]);
             }
         }
+    }
+
+    #[test]
+    fn explicit_plan_overrides_backlog() {
+        let mut c = ClusterConfig::new(4);
+        assert_eq!(c.total_jobs(), 16);
+        assert_eq!(c.effective_plan().len(), 16);
+        c.job_plan = vec![
+            JobSpec::solitary(BeSpec::of(BeKind::Wordcount)).with_priority(1),
+            JobSpec::solitary(BeSpec::of(BeKind::Lstm)).with_gang(3),
+        ];
+        assert_eq!(c.total_jobs(), 4, "gang counts every instance");
+        assert_eq!(c.effective_plan().len(), 2);
+        assert!(c.catalog().contains_key("wordcount"));
+    }
+
+    #[test]
+    fn scaling_touches_plan_entries() {
+        let mut c = ClusterConfig::new(4);
+        c.job_plan = vec![JobSpec::solitary(BeSpec::of(BeKind::Wordcount))];
+        let solo = c.job_plan[0].spec.job_seconds;
+        let c = c.with_scaled_jobs(0.1);
+        assert!((c.job_plan[0].spec.job_seconds - (solo * 0.1).max(1.0)).abs() < 1e-12);
     }
 
     #[test]

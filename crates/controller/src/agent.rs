@@ -7,7 +7,9 @@
 
 use crate::action::BeAction;
 use crate::policy::ThresholdPolicy;
-use crate::subcontrollers::{cut_step, frequency_step, grow_step, network_step, GrowthConfig};
+use crate::subcontrollers::{
+    cut_step, cut_step_prio, frequency_step, grow_step_prio, network_step, GrowthConfig,
+};
 use rhythm_machine::Machine;
 use rhythm_sim::SimTime;
 use rhythm_telemetry::{
@@ -47,6 +49,9 @@ pub struct AgentInputs {
     pub be_cpu_util: f64,
     /// True if the scheduler has BE jobs waiting for this machine.
     pub be_jobs_pending: bool,
+    /// Priority class of the BE job currently offered to this machine
+    /// (0 = lowest; only meaningful while `be_jobs_pending`).
+    pub be_priority: u8,
 }
 
 /// Cumulative agent statistics (reported in Table 2 / Figure 17).
@@ -137,8 +142,16 @@ impl ControllerAgent {
         self.stats.action_counts[action.severity() as usize] += 1;
         match action {
             BeAction::StopBe => {
-                self.stats.be_kills += machine.be_count() as u64;
-                machine.kill_all_be();
+                if self.growth.priority_preemption && machine.be_count() > 0 {
+                    // Victim selection: kill only the lowest-priority
+                    // class; suspend the survivors so the LC service
+                    // still reclaims the whole machine this period.
+                    self.stats.be_kills += machine.kill_min_priority_be() as u64;
+                    machine.suspend_all_be();
+                } else {
+                    self.stats.be_kills += machine.be_count() as u64;
+                    machine.kill_all_be();
+                }
                 machine.qdisc.zero_be();
             }
             BeAction::SuspendBe => {
@@ -146,13 +159,23 @@ impl ControllerAgent {
                 machine.qdisc.zero_be();
             }
             BeAction::CutBe => {
-                cut_step(machine, &self.growth);
+                if self.growth.priority_preemption {
+                    cut_step_prio(machine, &self.growth);
+                } else {
+                    cut_step(machine, &self.growth);
+                }
             }
             BeAction::DisallowBeGrowth => {
                 // Existing BE jobs keep running untouched.
             }
             BeAction::AllowBeGrowth => {
-                grow_step(machine, be, &self.growth, inputs.be_jobs_pending);
+                grow_step_prio(
+                    machine,
+                    be,
+                    &self.growth,
+                    inputs.be_jobs_pending,
+                    inputs.be_priority,
+                );
             }
         }
         // The frequency and network subcontrollers run every period
@@ -237,6 +260,7 @@ mod tests {
             lc_cpu_util: 0.5,
             be_cpu_util: 0.3,
             be_jobs_pending: true,
+            be_priority: 0,
         }
     }
 
@@ -333,6 +357,38 @@ mod tests {
         let after = m.be_total_alloc();
         assert_eq!(before.cores, after.cores);
         assert_eq!(before.llc_ways, after.llc_ways);
+    }
+
+    #[test]
+    fn priority_preemption_stop_kills_low_class_only() {
+        let mut m = machine();
+        let mut a = ControllerAgent::new(
+            ThresholdPolicy::rhythm(Thresholds::new(0.87, 0.08)),
+            GrowthConfig {
+                priority_preemption: true,
+                ..GrowthConfig::default()
+            },
+        );
+        let grant = |_| Allocation {
+            cores: 1,
+            llc_ways: 2,
+            mem_mb: 2 * 1024,
+            net_mbps: 0.0,
+            freq_mhz: 2_000,
+        };
+        m.admit_be_prio("low", grant(0), 0).unwrap();
+        m.admit_be_prio("high", grant(0), 2).unwrap();
+        let act = a.tick(&mut m, &BeSpec::of(BeKind::Wordcount), &inputs(0.3, 300.0));
+        assert_eq!(act, BeAction::StopBe);
+        assert_eq!(a.stats().be_kills, 1, "only the low class was killed");
+        assert_eq!(m.be_count(), 1, "high class survives (suspended)");
+        assert_eq!(m.running_be_count(), 0);
+        assert_eq!(m.min_be_priority(), Some(2));
+        // Recovery resumes the survivor instead of re-admitting.
+        let act = a.tick(&mut m, &BeSpec::of(BeKind::Wordcount), &inputs(0.3, 100.0));
+        assert_eq!(act, BeAction::AllowBeGrowth);
+        assert_eq!(m.running_be_count(), 1);
+        assert_eq!(m.be_count(), 1);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct GrowthConfig {
     /// Ceiling on the BE class's share of the machine LLC (Intel CAT
     /// always leaves the LC class a protected partition).
     pub max_be_llc_fraction: f64,
+    /// Priority-aware victim selection: StopBE kills only the
+    /// lowest-priority class (suspending the rest) and CutBE shrinks only
+    /// the lowest-priority running class. Off by default — the uniform
+    /// paper behaviour treats every BE instance alike.
+    pub priority_preemption: bool,
 }
 
 impl Default for GrowthConfig {
@@ -42,6 +47,7 @@ impl Default for GrowthConfig {
             mem_step_mb: 100,
             max_cores_per_instance: 8,
             max_be_llc_fraction: 0.4,
+            priority_preemption: false,
         }
     }
 }
@@ -62,6 +68,18 @@ pub fn grow_step(
     be: &BeSpec,
     cfg: &GrowthConfig,
     more_jobs_available: bool,
+) -> bool {
+    grow_step_prio(machine, be, cfg, more_jobs_available, 0)
+}
+
+/// [`grow_step`] with an explicit priority class for a freshly admitted
+/// instance (existing instances are grown regardless of class).
+pub fn grow_step_prio(
+    machine: &mut Machine,
+    be: &BeSpec,
+    cfg: &GrowthConfig,
+    more_jobs_available: bool,
+    priority: u8,
 ) -> bool {
     let step_ways = llc_step_ways(machine);
     // Resume suspended instances first: coming back is cheaper than
@@ -118,7 +136,7 @@ pub fn grow_step(
             net_mbps: 0.0,
             freq_mhz: machine.be_dvfs.current_mhz(),
         };
-        return machine.admit_be(&be.name, req).is_ok();
+        return machine.admit_be_prio(&be.name, req, priority).is_ok();
     }
     false
 }
@@ -127,12 +145,39 @@ pub fn grow_step(
 /// step (1 core, one LLC step, one memory step). Returns the number of
 /// instances touched.
 pub fn cut_step(machine: &mut Machine, cfg: &GrowthConfig) -> usize {
-    let step_ways = llc_step_ways(machine);
-    let ids: Vec<u64> = machine
+    cut_ids(
+        machine,
+        cfg,
+        |b| b.state == rhythm_machine::machine::BeState::Running && !b.alloc.is_empty(),
+    )
+}
+
+/// Priority-aware CutBE: shrinks only the lowest-priority class with a
+/// running, non-empty instance; higher classes keep their grants. Returns
+/// the number of instances touched.
+pub fn cut_step_prio(machine: &mut Machine, cfg: &GrowthConfig) -> usize {
+    let victim_class = machine
         .be_instances()
         .filter(|b| b.state == rhythm_machine::machine::BeState::Running && !b.alloc.is_empty())
-        .map(|b| b.id)
-        .collect();
+        .map(|b| b.priority)
+        .min();
+    let Some(victim_class) = victim_class else {
+        return 0;
+    };
+    cut_ids(machine, cfg, |b| {
+        b.state == rhythm_machine::machine::BeState::Running
+            && !b.alloc.is_empty()
+            && b.priority == victim_class
+    })
+}
+
+fn cut_ids(
+    machine: &mut Machine,
+    cfg: &GrowthConfig,
+    victim: impl Fn(&&rhythm_machine::machine::BeInstance) -> bool,
+) -> usize {
+    let step_ways = llc_step_ways(machine);
+    let ids: Vec<u64> = machine.be_instances().filter(victim).map(|b| b.id).collect();
     let mut touched = 0;
     for id in &ids {
         let delta = Allocation {
@@ -294,6 +339,36 @@ mod tests {
         let after = m.be_total_alloc();
         assert_eq!(after.cores, before.cores - 3);
         assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn priority_cut_spares_high_class() {
+        let mut m = machine();
+        let cfg = GrowthConfig::default();
+        let grant = |cores| Allocation {
+            cores,
+            llc_ways: 2,
+            mem_mb: 2 * 1024,
+            net_mbps: 0.0,
+            freq_mhz: 2_000,
+        };
+        let low = m.admit_be_prio("low", grant(3), 0).unwrap();
+        let high = m.admit_be_prio("high", grant(3), 2).unwrap();
+        let touched = cut_step_prio(&mut m, &cfg);
+        assert_eq!(touched, 1);
+        let cores_of = |m: &Machine, id| m.be_instances().find(|b| b.id == id).unwrap().alloc.cores;
+        assert_eq!(cores_of(&m, low), 2, "low class shrank");
+        assert_eq!(cores_of(&m, high), 3, "high class untouched");
+        // Uniform cut touches both.
+        let touched = cut_step(&mut m, &cfg);
+        assert_eq!(touched, 2);
+    }
+
+    #[test]
+    fn priority_grow_admits_at_class() {
+        let mut m = machine();
+        assert!(grow_step_prio(&mut m, &wc(), &GrowthConfig::default(), true, 3));
+        assert_eq!(m.be_instances().next().unwrap().priority, 3);
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub enum ControlMode {
 pub struct EngineConfig {
     /// Machine model for every Servpod host.
     pub machine_spec: MachineSpec,
+    /// Per-Servpod machine overrides for heterogeneous deployments: when
+    /// non-empty, must hold one spec per Servpod and takes precedence
+    /// over `machine_spec`.
+    pub machine_specs: Vec<MachineSpec>,
     /// BE workloads to run (round-robin admission); empty means no BE.
     pub bes: Vec<BeSpec>,
     /// Control mode.
@@ -115,6 +119,7 @@ impl EngineConfig {
     pub fn solo(load: f64, duration_s: u64, seed: u64) -> Self {
         EngineConfig {
             machine_spec: MachineSpec::paper_testbed(),
+            machine_specs: Vec::new(),
             bes: Vec::new(),
             mode: ControlMode::Solo,
             load: LoadGen::constant(load),
@@ -394,8 +399,9 @@ pub struct Engine {
     end_at: SimTime,
     // Cluster interface (epoch-stepped runs).
     started: bool,
-    /// Per-machine job offered by the cluster dispatcher (external mode).
-    be_offers: Vec<Option<BeSpec>>,
+    /// Per-machine job offered by the cluster dispatcher (external
+    /// mode), with its priority class.
+    be_offers: Vec<Option<(BeSpec, u8)>>,
     /// Per-machine, per-instance progress, accrued over the *whole* run
     /// (cluster job completion times include warm-up, unlike the
     /// measured-window integrals above).
@@ -415,7 +421,11 @@ impl Engine {
     /// owned spec or a shared `Arc` (sweeps reuse one allocation).
     pub fn new(service: impl Into<Arc<ServiceSpec>>, cfg: EngineConfig) -> Engine {
         let service = service.into();
-        let deployment = Deployment::new(Arc::clone(&service), cfg.machine_spec);
+        let deployment = if cfg.machine_specs.is_empty() {
+            Deployment::new(Arc::clone(&service), cfg.machine_spec)
+        } else {
+            Deployment::with_machine_specs(Arc::clone(&service), &cfg.machine_specs)
+        };
         let maxload = service.sim_maxload_rps();
         let visits = service.expected_visits();
         let n = service.len();
@@ -589,9 +599,18 @@ impl Engine {
     }
 
     /// Sets (or clears) the BE job the cluster dispatcher offers to
-    /// machine `i`. Only meaningful with [`EngineConfig::external_be`].
+    /// machine `i`, at priority 0. Only meaningful with
+    /// [`EngineConfig::external_be`].
     pub fn set_be_offer(&mut self, i: usize, offer: Option<BeSpec>) {
-        if let Some(spec) = &offer {
+        self.set_be_offer_prio(i, offer.map(|s| (s, 0)));
+    }
+
+    /// Sets (or clears) the BE job the cluster dispatcher offers to
+    /// machine `i`, tagged with its priority class (0 = lowest). The
+    /// controller admits the instance at that class, so preemption can
+    /// select victims by priority later.
+    pub fn set_be_offer_prio(&mut self, i: usize, offer: Option<(BeSpec, u8)>) {
+        if let Some((spec, _)) = &offer {
             // The pressure model looks workloads up by name; make sure
             // offered specs are resolvable even if absent from `cfg.bes`.
             self.be_specs
@@ -603,7 +622,7 @@ impl Engine {
 
     /// The job currently offered to machine `i`.
     pub fn be_offer(&self, i: usize) -> Option<&BeSpec> {
-        self.be_offers[i].as_ref()
+        self.be_offers[i].as_ref().map(|(s, _)| s)
     }
 
     /// Cumulative progress (fraction of one job) of BE instance
@@ -1352,17 +1371,17 @@ impl Engine {
                 let ns = &nodes[i];
                 let lc_cpu = (ns.busy as f64 / ns.workers as f64).clamp(0.0, 1.0);
                 let be_cpu = if machine.running_be_count() > 0 { 1.0 } else { 0.0 };
-                let (pending, be) = if cfg.external_be {
+                let (pending, be, be_priority) = if cfg.external_be {
                     // Cluster mode: the dispatcher offers at most one job
                     // per machine per epoch; the machine's own queue is
                     // empty unless an offer is posted.
                     match &be_offers[i] {
-                        Some(spec) => (true, spec),
+                        Some((spec, prio)) => (true, spec, *prio),
                         None => {
                             let Some(fallback) = bes.first() else {
                                 continue;
                             };
-                            (false, fallback)
+                            (false, fallback, 0)
                         }
                     }
                 } else {
@@ -1375,7 +1394,7 @@ impl Engine {
                         None => true,
                         Some(limit) => machine.be_started < limit as u64,
                     };
-                    (pending, be)
+                    (pending, be, 0)
                 };
                 let inputs = AgentInputs {
                     load_fraction,
@@ -1385,6 +1404,7 @@ impl Engine {
                     lc_cpu_util: lc_cpu,
                     be_cpu_util: be_cpu,
                     be_jobs_pending: pending,
+                    be_priority,
                 };
                 let (action, before, after) =
                     agent.tick_traced(machine, be, &inputs, &mut telemetry.recorder, now, i as u16);

@@ -40,14 +40,37 @@ impl Deployment {
     /// machine capacity.
     pub fn new(service: impl Into<Arc<ServiceSpec>>, machine_spec: MachineSpec) -> Deployment {
         let service = service.into();
+        let specs = vec![machine_spec; service.len()];
+        Deployment::with_machine_specs(service, &specs)
+    }
+
+    /// Deploys `service` on heterogeneous hardware: one component per
+    /// machine, with `specs[i]` describing the machine hosting component
+    /// `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs.len() != service.len()`, the service fails
+    /// validation, or a component exceeds its machine's capacity.
+    pub fn with_machine_specs(
+        service: impl Into<Arc<ServiceSpec>>,
+        specs: &[MachineSpec],
+    ) -> Deployment {
+        let service = service.into();
         service.validate().expect("invalid service");
+        assert_eq!(
+            specs.len(),
+            service.len(),
+            "one machine spec per service component"
+        );
         let maxload = service.sim_maxload_rps();
         let visits = service.expected_visits();
         let machines: Vec<Machine> = service
             .nodes
             .iter()
             .zip(&visits)
-            .map(|(node, &v)| {
+            .zip(specs)
+            .map(|((node, &v), &machine_spec)| {
                 let c = &node.component;
                 // Reserve network headroom for the component's peak rate.
                 let peak_net = c.net_mbps_at(maxload * v) * 1.5;
@@ -112,6 +135,28 @@ mod tests {
             assert_eq!(m.lc_alloc().mem_mb, node.component.mem_mb);
             assert!(m.check_invariants().is_ok());
         }
+    }
+
+    #[test]
+    fn heterogeneous_specs_apply_per_machine() {
+        let specs = [
+            MachineSpec::dense_compute(),
+            MachineSpec::paper_testbed(),
+            MachineSpec::lean_node(),
+            MachineSpec::paper_testbed(),
+        ];
+        let d = Deployment::with_machine_specs(apps::ecommerce(), &specs);
+        for (m, spec) in d.machines.iter().zip(&specs) {
+            assert_eq!(m.spec(), spec);
+            assert_eq!(m.lc_alloc().freq_mhz, spec.max_freq_mhz);
+            assert!(m.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one machine spec per service component")]
+    fn spec_count_mismatch_rejected() {
+        Deployment::with_machine_specs(apps::ecommerce(), &[MachineSpec::paper_testbed()]);
     }
 
     #[test]

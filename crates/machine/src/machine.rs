@@ -45,6 +45,8 @@ pub struct BeInstance {
     pub cpuset: CpuSet,
     /// Run state.
     pub state: BeState,
+    /// Job priority class (0 = lowest). Preemption prefers low classes.
+    pub priority: u8,
     /// Grant held before suspension, restored on resume.
     saved: Option<Allocation>,
 }
@@ -211,10 +213,23 @@ impl Machine {
             .count()
     }
 
-    /// Admits a new BE instance with the requested grant.
+    /// Admits a new BE instance with the requested grant at priority 0.
     ///
     /// Fails without side effects if any dimension is unavailable.
     pub fn admit_be(&mut self, workload: &str, req: Allocation) -> Result<BeInstanceId, MachineError> {
+        self.admit_be_prio(workload, req, 0)
+    }
+
+    /// Admits a new BE instance with the requested grant at the given
+    /// priority class (0 = lowest; preemption prefers low classes).
+    ///
+    /// Fails without side effects if any dimension is unavailable.
+    pub fn admit_be_prio(
+        &mut self,
+        workload: &str,
+        req: Allocation,
+        priority: u8,
+    ) -> Result<BeInstanceId, MachineError> {
         if self.free_cores.count() < req.cores {
             return Err(MachineError::Insufficient(format!(
                 "cores: need {}, free {}",
@@ -253,6 +268,7 @@ impl Machine {
                 alloc: req,
                 cpuset,
                 state: BeState::Running,
+                priority,
                 saved: None,
             },
         );
@@ -446,6 +462,29 @@ impl Machine {
         for id in ids {
             let _ = self.kill_be(id);
         }
+    }
+
+    /// The lowest priority class among live BE instances, if any.
+    pub fn min_be_priority(&self) -> Option<u8> {
+        self.bes.values().map(|b| b.priority).min()
+    }
+
+    /// Kills only the lowest-priority class of BE instances (priority
+    /// victim selection for StopBE). Returns the number killed.
+    pub fn kill_min_priority_be(&mut self) -> usize {
+        let Some(min) = self.min_be_priority() else {
+            return 0;
+        };
+        let ids: Vec<BeInstanceId> = self
+            .bes
+            .values()
+            .filter(|b| b.priority == min)
+            .map(|b| b.id)
+            .collect();
+        for id in &ids {
+            let _ = self.kill_be(*id);
+        }
+        ids.len()
     }
 
     /// Checks all resource-accounting invariants; returns a description of
@@ -720,6 +759,32 @@ mod tests {
         assert_eq!(m.free_mem_mb(), total - 64 * 1024);
         m.admit_be("a", be_req()).unwrap();
         assert_eq!(m.free_mem_mb(), total - 64 * 1024 - 2 * 1024);
+    }
+
+    #[test]
+    fn priority_kill_takes_only_lowest_class() {
+        let mut m = machine();
+        let a = m.admit_be_prio("low", be_req(), 0).unwrap();
+        let b = m.admit_be_prio("high", be_req(), 2).unwrap();
+        let c = m.admit_be_prio("low2", be_req(), 0).unwrap();
+        assert_eq!(m.min_be_priority(), Some(0));
+        let killed = m.kill_min_priority_be();
+        assert_eq!(killed, 2);
+        assert!(!m.bes.contains_key(&a));
+        assert!(!m.bes.contains_key(&c));
+        assert_eq!(m.bes.get(&b).unwrap().priority, 2);
+        assert_eq!(m.min_be_priority(), Some(2));
+        assert!(m.check_invariants().is_ok());
+        // Second call takes the surviving class.
+        assert_eq!(m.kill_min_priority_be(), 1);
+        assert_eq!(m.kill_min_priority_be(), 0);
+    }
+
+    #[test]
+    fn admit_be_defaults_to_priority_zero() {
+        let mut m = machine();
+        let id = m.admit_be("x", be_req()).unwrap();
+        assert_eq!(m.bes.get(&id).unwrap().priority, 0);
     }
 
     #[test]

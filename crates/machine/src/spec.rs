@@ -64,6 +64,45 @@ impl MachineSpec {
         }
     }
 
+    /// A dense dual-socket compute node: more, faster cores than the
+    /// paper testbed but a narrower LLC. Used by heterogeneous cluster
+    /// scenarios as the "big" machine class.
+    pub fn dense_compute() -> Self {
+        MachineSpec {
+            sockets: 2,
+            cores_per_socket: 24,
+            llc_ways_per_socket: 16,
+            llc_mb_per_socket: 32.0,
+            mem_mb_per_socket: 96 * 1024,
+            membw_mbps_per_socket: 100.0 * 1024.0,
+            nic_mbps: 25_000.0,
+            max_freq_mhz: 2_600,
+            min_freq_mhz: 1_400,
+            freq_step_mhz: 100,
+            tdp_watts_per_socket: 165.0,
+        }
+    }
+
+    /// A lean dual-socket node: fewer, slower cores and less bandwidth
+    /// than the paper testbed. The "small" machine class of heterogeneous
+    /// cluster scenarios (still large enough to host any evaluated LC
+    /// component).
+    pub fn lean_node() -> Self {
+        MachineSpec {
+            sockets: 2,
+            cores_per_socket: 12,
+            llc_ways_per_socket: 12,
+            llc_mb_per_socket: 16.0,
+            mem_mb_per_socket: 48 * 1024,
+            membw_mbps_per_socket: 40.0 * 1024.0,
+            nic_mbps: 10_000.0,
+            max_freq_mhz: 1_800,
+            min_freq_mhz: 1_000,
+            freq_step_mhz: 100,
+            tdp_watts_per_socket: 85.0,
+        }
+    }
+
     /// A small two-socket machine useful for fast tests.
     pub fn small() -> Self {
         MachineSpec {
@@ -176,6 +215,20 @@ mod tests {
     #[test]
     fn small_is_valid() {
         assert!(MachineSpec::small().validate().is_ok());
+    }
+
+    #[test]
+    fn hetero_classes_are_valid_and_distinct() {
+        let dense = MachineSpec::dense_compute();
+        let lean = MachineSpec::lean_node();
+        assert!(dense.validate().is_ok());
+        assert!(lean.validate().is_ok());
+        assert!(dense.total_cores() > MachineSpec::paper_testbed().total_cores());
+        assert!(lean.total_cores() < MachineSpec::paper_testbed().total_cores());
+        // Both classes must still host the largest evaluated LC component
+        // (20 cores / 48 GB) with room for BE work.
+        assert!(lean.total_cores() >= 24);
+        assert!(lean.total_mem_mb() >= 64 * 1024);
     }
 
     #[test]

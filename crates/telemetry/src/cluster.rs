@@ -1,0 +1,89 @@
+//! Cluster-scheduler events: gang lifecycle and deadline outcomes.
+//!
+//! The per-engine recorder sees only one replica; decisions the cluster
+//! dispatcher takes at the epoch barrier — forming or aborting a gang,
+//! observing a deadline miss — span machines and have no per-engine home.
+//! They are recorded here, always single-threaded at the barrier in fixed
+//! order, so the export stays byte-identical for any worker-thread count.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// What happened at the cluster scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterEventKind {
+    /// Every instance of a gang job was admitted; the gang is running.
+    GangFormed,
+    /// A gang was rolled back (a member was killed, or placement timed
+    /// out) and its leader requeued.
+    GangAborted,
+    /// A job completed after its deadline, or the run ended with the
+    /// deadline already passed.
+    DeadlineMiss,
+}
+
+impl ClusterEventKind {
+    /// Snake-case name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterEventKind::GangFormed => "gang_formed",
+            ClusterEventKind::GangAborted => "gang_aborted",
+            ClusterEventKind::DeadlineMiss => "deadline_miss",
+        }
+    }
+}
+
+/// One cluster-scheduler event.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEvent {
+    /// Virtual time of the epoch barrier that recorded the event.
+    pub t_s: f64,
+    /// What happened.
+    pub kind: ClusterEventKind,
+    /// The job involved (a gang's leader for gang events).
+    pub job: u64,
+    /// Gang id for gang events (`None` for solitary jobs).
+    pub gang: Option<u32>,
+}
+
+impl ClusterEvent {
+    /// Renders the event as one JSONL object.
+    pub fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = vec![
+            ("type".into(), Value::String("cluster_event".into())),
+            ("kind".into(), Value::String(self.kind.name().into())),
+            ("t_s".into(), Value::Float(self.t_s)),
+            ("job".into(), Value::UInt(self.job)),
+        ];
+        if let Some(gid) = self.gang {
+            pairs.push(("gang".into(), Value::UInt(gid as u64)));
+        }
+        Value::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_jsonl_object() {
+        let ev = ClusterEvent {
+            t_s: 12.0,
+            kind: ClusterEventKind::GangFormed,
+            job: 7,
+            gang: Some(3),
+        };
+        let line = ev.to_value().to_json_string();
+        assert!(line.starts_with("{\"type\":\"cluster_event\""), "{line}");
+        assert!(line.contains("\"kind\":\"gang_formed\""), "{line}");
+        assert!(line.contains("\"gang\":3"), "{line}");
+        let solo = ClusterEvent {
+            t_s: 30.0,
+            kind: ClusterEventKind::DeadlineMiss,
+            job: 9,
+            gang: None,
+        };
+        assert!(!solo.to_value().to_json_string().contains("gang"), "no gang key");
+    }
+}

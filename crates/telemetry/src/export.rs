@@ -51,6 +51,17 @@ impl TelemetryOutput {
 /// cluster tail series — so the export is byte-identical whenever the
 /// collected data is identical.
 pub fn export_jsonl(replicas: &[TelemetryOutput], cluster_tail: &[TailPoint]) -> String {
+    export_jsonl_with_events(replicas, cluster_tail, &[])
+}
+
+/// [`export_jsonl`] plus cluster-scheduler events (gang lifecycle,
+/// deadline misses), appended after the merged cluster tail so exports
+/// without events are byte-identical to the plain form.
+pub fn export_jsonl_with_events(
+    replicas: &[TelemetryOutput],
+    cluster_tail: &[TailPoint],
+    cluster_events: &[crate::cluster::ClusterEvent],
+) -> String {
     let mut out = String::new();
     let mut push = |v: Value| {
         out.push_str(&v.to_json_string());
@@ -80,6 +91,9 @@ pub fn export_jsonl(replicas: &[TelemetryOutput], cluster_tail: &[TailPoint]) ->
     }
     for pt in cluster_tail {
         push(pt.to_value("cluster", None));
+    }
+    for ev in cluster_events {
+        push(ev.to_value());
     }
     out
 }

@@ -34,13 +34,15 @@
 //! engine's hot path only ever pays the `enabled` check.
 
 pub mod audit;
+pub mod cluster;
 pub mod event;
 pub mod export;
 pub mod recorder;
 pub mod tail;
 
 pub use audit::{AuditRecord, BeSnapshot, Trigger};
+pub use cluster::{ClusterEvent, ClusterEventKind};
 pub use event::{per_mille_i16, per_mille_u16, ActionCode, AdjustKind, Event, EventKind};
-pub use export::{chrome_trace, export_jsonl, TelemetryOutput};
+pub use export::{chrome_trace, export_jsonl, export_jsonl_with_events, TelemetryOutput};
 pub use recorder::{FlightRecorder, Telemetry, TelemetryConfig};
 pub use tail::{TailPoint, TailSeries};

@@ -43,7 +43,7 @@ pub mod prelude {
     pub use rhythm_analyzer::{contributions, find_loadlimit, find_slacklimits, SojournProfile};
     pub use rhythm_cluster::{
         compare_cluster, run_cluster, ClusterConfig, ClusterMetrics, ClusterOutcome,
-        ClusterTelemetry, PlacementPolicy,
+        ClusterTelemetry, JobSpec, PlacementPolicy,
     };
     pub use rhythm_controller::{BeAction, ThresholdPolicy, Thresholds};
     pub use rhythm_core::experiment::{ControllerChoice, ExperimentConfig, ServiceContext};
@@ -54,8 +54,8 @@ pub mod prelude {
     pub use rhythm_machine::{Allocation, Machine, MachineSpec};
     pub use rhythm_sim::{LatencyHistogram, SimDuration, SimRng, SimTime};
     pub use rhythm_telemetry::{
-        chrome_trace, export_jsonl, AuditRecord, FlightRecorder, TailPoint, Telemetry,
-        TelemetryConfig, TelemetryOutput,
+        chrome_trace, export_jsonl, AuditRecord, ClusterEvent, ClusterEventKind, FlightRecorder,
+        TailPoint, Telemetry, TelemetryConfig, TelemetryOutput,
     };
     pub use rhythm_workloads::{apps, BeKind, BeSpec, LoadGen, ServiceSpec};
 }

@@ -6,7 +6,10 @@
 //! job retirement) happen single-threaded in replica order at the
 //! barrier. This test runs randomly drawn (seed, size, policy, load,
 //! controller) cells with 1 worker and with 8 and requires the merged
-//! metrics and the per-machine fingerprints to match exactly.
+//! metrics and the per-machine fingerprints to match exactly. A second
+//! test pins a heterogeneous cluster (3 hardware classes, priority and
+//! deadline jobs, a gang, preemption, aging) and requires the full
+//! telemetry JSONL export to be byte-identical across 1/2/4/8 threads.
 //!
 //! The vendored proptest shim runs a fixed 64 cases — far too many for
 //! whole-cluster runs — so the cells are drawn from a splitmix64 stream
@@ -76,5 +79,66 @@ fn cluster_runs_are_thread_count_invariant() {
         );
         // The parallel run must actually have done the work.
         assert!(serial.metrics.completed_requests > 0, "case {case}: empty run");
+    }
+}
+
+/// The heterogeneous scenario: every machine its own spec, a plan with
+/// priorities, deadlines and a 3-instance gang, priority preemption and
+/// queue aging on, full telemetry. The scheduler paths this exercises
+/// (gang formation/abort, priority victim selection, EDF ordering,
+/// aging re-keys) all run at the epoch barrier, so the export must be
+/// byte-identical for any worker count.
+fn hetero_cell(threads: usize) -> ClusterConfig {
+    let mut c = ClusterConfig::new(4).with_scaled_jobs(0.02);
+    c.duration_s = 60;
+    c.load = LoadGen::constant(0.6);
+    c.policy = PlacementPolicy::HeteroAware;
+    c.seed = 0x4E7E;
+    c.threads = threads;
+    c.machine_specs = vec![
+        MachineSpec::dense_compute(),
+        MachineSpec::paper_testbed(),
+        MachineSpec::lean_node(),
+        MachineSpec::paper_testbed(),
+    ];
+    c.priority_preemption = true;
+    c.queue_aging_s = Some(20.0);
+    c.gang_patience_epochs = 3;
+    c.telemetry = TelemetryConfig::full();
+    let wc = c.be_mix[0].clone();
+    c.job_plan = vec![
+        JobSpec::solitary(wc.clone()).with_priority(2).with_deadline(30.0),
+        JobSpec::solitary(wc.clone()).with_priority(1).with_gang(3),
+        JobSpec::solitary(wc.clone()).with_priority(1).with_deadline(45.0),
+        JobSpec::solitary(wc.clone()),
+        JobSpec::solitary(wc),
+    ];
+    c
+}
+
+#[test]
+fn hetero_gang_cluster_is_thread_count_invariant() {
+    // solr has 2 Servpods: 4 machines = 2 replicas, so cross-replica
+    // gang placement is actually exercised.
+    let baseline = run_cluster(ctx(), &ControllerChoice::Rhythm, &hetero_cell(1));
+    let base_tel = baseline.telemetry.as_ref().expect("telemetry enabled");
+    let base_jsonl = base_tel.export_jsonl();
+    assert!(baseline.metrics.completed_requests > 0, "empty run");
+    assert_eq!(baseline.metrics.jobs.submitted, 7, "5 entries, gang of 3");
+    assert_eq!(baseline.metrics.jobs.deadline_total, 2);
+    for threads in [2usize, 4, 8] {
+        let run = run_cluster(ctx(), &ControllerChoice::Rhythm, &hetero_cell(threads));
+        assert_eq!(
+            baseline.fingerprints, run.fingerprints,
+            "fingerprints diverged at {threads} threads"
+        );
+        let jsonl = run.telemetry.as_ref().expect("telemetry enabled").export_jsonl();
+        assert_eq!(
+            base_jsonl, jsonl,
+            "telemetry JSONL diverged at {threads} threads"
+        );
+        let a = serde_json::to_string(&baseline.metrics).unwrap();
+        let b = serde_json::to_string(&run.metrics).unwrap();
+        assert_eq!(a, b, "merged metrics diverged at {threads} threads");
     }
 }

@@ -75,6 +75,71 @@ fn managed_run() -> EngineOutput {
     Engine::new(apps::ecommerce(), cfg).run()
 }
 
+/// A heterogeneous 4-machine cluster run (3 hardware classes,
+/// priority/deadline jobs, a 3-instance gang, preemption, aging): pins
+/// the whole scheduler stack — EDF queue, hetero-aware placement, gang
+/// formation/abort — on top of the engine streams.
+fn hetero_cluster_run() -> ClusterOutcome {
+    let ctx = ServiceContext::prepare(apps::solr(), &[BeSpec::of(BeKind::Wordcount)], 11);
+    let mut c = ClusterConfig::new(4).with_scaled_jobs(0.02);
+    c.duration_s = 60;
+    c.load = LoadGen::constant(0.6);
+    c.policy = PlacementPolicy::HeteroAware;
+    c.seed = 0x601D;
+    c.threads = 2;
+    c.machine_specs = vec![
+        MachineSpec::dense_compute(),
+        MachineSpec::paper_testbed(),
+        MachineSpec::lean_node(),
+        MachineSpec::paper_testbed(),
+    ];
+    c.priority_preemption = true;
+    c.queue_aging_s = Some(20.0);
+    c.gang_patience_epochs = 3;
+    let wc = c.be_mix[0].clone();
+    c.job_plan = vec![
+        JobSpec::solitary(wc.clone()).with_priority(2).with_deadline(30.0),
+        JobSpec::solitary(wc.clone()).with_priority(1).with_gang(3),
+        JobSpec::solitary(wc.clone()).with_priority(1).with_deadline(45.0),
+        JobSpec::solitary(wc.clone()),
+        JobSpec::solitary(wc),
+    ];
+    run_cluster(&ctx, &ControllerChoice::Rhythm, &c)
+}
+
+/// Flattens a cluster outcome the same way: the per-machine FNV
+/// fingerprints already cover every engine stream, so the merged
+/// metrics and job ledger are appended on top.
+fn cluster_fingerprint(out: &ClusterOutcome) -> Vec<u64> {
+    let mut fp = out.fingerprints.clone();
+    let m = &out.metrics;
+    fp.extend([
+        m.machines as u64,
+        m.replicas as u64,
+        m.lc_throughput.to_bits(),
+        m.be_throughput.to_bits(),
+        m.emu.to_bits(),
+        m.cpu_util.to_bits(),
+        m.membw_util.to_bits(),
+        m.p99_ms.to_bits(),
+        m.tail_ratio.to_bits(),
+        m.sla_violations,
+        m.be_kills,
+        m.completed_requests,
+        m.requeues,
+        m.jobs.submitted,
+        m.jobs.completed,
+        m.jobs.kills,
+        m.jobs.completion_mean_s.to_bits(),
+        m.jobs.completion_p99_s.to_bits(),
+        m.jobs.wasted_jobs.to_bits(),
+        m.jobs.deadline_total,
+        m.jobs.deadline_missed,
+        m.jobs.deadline_miss_rate.to_bits(),
+    ]);
+    fp
+}
+
 /// Regenerates the fixture arrays (see module docs).
 #[test]
 #[ignore]
@@ -86,6 +151,10 @@ fn print_fingerprints() {
     ] {
         println!("const {name}: &[u64] = &{:?};", fingerprint(&out));
     }
+    println!(
+        "const HETERO_CLUSTER: &[u64] = &{:?};",
+        cluster_fingerprint(&hetero_cluster_run())
+    );
 }
 
 include!("fixtures/golden_fixtures.rs");
@@ -103,4 +172,9 @@ fn static_metrics_bit_identical() {
 #[test]
 fn managed_metrics_bit_identical() {
     assert_eq!(fingerprint(&managed_run()), MANAGED);
+}
+
+#[test]
+fn hetero_cluster_bit_identical() {
+    assert_eq!(cluster_fingerprint(&hetero_cluster_run()), HETERO_CLUSTER);
 }

@@ -2,10 +2,13 @@
 //!
 //! DESIGN.md §6 lists the invariants: event-calendar ordering, histogram
 //! quantile bounds, tracer mean-sojourn invariance (the §3.3 identity),
-//! contribution/threshold monotonicity, and machine resource-accounting
-//! safety under arbitrary controller action sequences.
+//! contribution/threshold monotonicity, machine resource-accounting
+//! safety under arbitrary controller action sequences, and the cluster
+//! queue's EDF-within-priority total order (with aging anti-starvation
+//! and class preservation across StopBE requeues).
 
 use proptest::prelude::*;
+use rhythm::cluster::JobQueue;
 use rhythm::analyzer::find_loadlimit;
 use rhythm::analyzer::slacklimit::find_slacklimits;
 use rhythm::machine::{Allocation, Machine, MachineSpec};
@@ -355,6 +358,131 @@ proptest! {
         let p = Pressure::from_machine(&m, &specs);
         for v in [p.cpu, p.llc, p.dram, p.net] {
             prop_assert!((0.0..=1.0).contains(&v), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn queue_pops_edf_within_priority(jobs in prop::collection::vec((0u8..4, 0u64..3, 1u64..1000), 1..60)) {
+        // Pop order is a total order: class (highest first), then
+        // deadline (earliest first, undated last), then submission order.
+        let meta: Vec<(u8, Option<f64>)> = jobs
+            .iter()
+            .map(|&(p, dated, d)| (p, (dated > 0).then_some(d as f64)))
+            .collect();
+        let mut q = JobQueue::new();
+        for (i, &(p, dl)) in meta.iter().enumerate() {
+            q.submit_with(i as u64, p, dl, 0.0);
+        }
+        let mut popped = Vec::new();
+        while let Some(id) = q.pop() {
+            popped.push(id);
+        }
+        prop_assert_eq!(popped.len(), meta.len());
+        let key = |id: u64| {
+            let (p, dl) = meta[id as usize];
+            (u8::MAX - p, dl.map(f64::to_bits).unwrap_or(u64::MAX), id)
+        };
+        for w in popped.windows(2) {
+            prop_assert!(
+                key(w[0]) < key(w[1]),
+                "pop order violated: {} (key {:?}) before {} (key {:?})",
+                w[0], key(w[0]), w[1], key(w[1])
+            );
+        }
+    }
+
+    #[test]
+    fn queue_aging_prevents_starvation(aging in 4.0f64..20.0, arrivals_per_epoch in 1usize..3) {
+        // A lone class-0 job under a continuous stream of class-3
+        // arrivals must still pop in bounded time — the lowest class
+        // cannot starve. The arrivals age too, so the bound is not just
+        // "three classes of aging": with one pop per epoch and `a`
+        // arrivals per epoch, the oldest unserved arrival is about
+        // (1 - 1/a)·e epochs old at epoch e, and the class-0 job
+        // overtakes it once 2e/aging ≥ 3 + 2(1-1/a)e/aging, i.e. around
+        // e = 3·aging·a/2 (epoch = 2 s); a few epochs of slack absorb
+        // the floor() boundaries.
+        let mut q = JobQueue::with_aging(aging);
+        q.submit_with(0, 0, None, 0.0);
+        let mut next_id = 1u64;
+        let epoch = 2.0;
+        let bound = (3.0 * aging * arrivals_per_epoch as f64 / epoch).ceil() as usize + 6;
+        let mut popped_low = false;
+        for e in 0..bound {
+            let now = e as f64 * epoch;
+            q.age(now);
+            for _ in 0..arrivals_per_epoch {
+                q.submit_with(next_id, 3, None, now);
+                next_id += 1;
+            }
+            if q.pop() == Some(0) {
+                popped_low = true;
+                break;
+            }
+        }
+        prop_assert!(
+            popped_low,
+            "class-0 job starved for {bound} epochs under continuous class-3 arrivals (aging {aging})"
+        );
+    }
+
+    #[test]
+    fn queue_requeue_preserves_class_and_order(
+        jobs in prop::collection::vec((0u8..4, 0u64..3, 1u64..1000), 2..40),
+        take in 1usize..10,
+    ) {
+        // StopBE pops and requeues work: the requeued jobs keep their
+        // (class, deadline) rank, go in front of same-rank jobs that
+        // never left, and keep their relative order among themselves.
+        let meta: Vec<(u8, Option<f64>)> = jobs
+            .iter()
+            .map(|&(p, dated, d)| (p, (dated > 0).then_some(d as f64)))
+            .collect();
+        let mut q = JobQueue::new();
+        for (i, &(p, dl)) in meta.iter().enumerate() {
+            q.submit_with(i as u64, p, dl, 0.0);
+        }
+        let mut killed = Vec::new();
+        for _ in 0..take.min(meta.len()) {
+            if let Some(id) = q.pop() {
+                killed.push(id);
+            }
+        }
+        // Requeue in reverse pop order (as the dispatcher withdraws
+        // offers) so the original relative order is restored.
+        for &id in killed.iter().rev() {
+            q.requeue(id);
+        }
+        let mut popped = Vec::new();
+        while let Some(id) = q.pop() {
+            popped.push(id);
+        }
+        prop_assert_eq!(popped.len(), meta.len());
+        let rank = |id: u64| {
+            let (p, dl) = meta[id as usize];
+            (u8::MAX - p, dl.map(f64::to_bits).unwrap_or(u64::MAX))
+        };
+        let pos = |id: u64| popped.iter().position(|&x| x == id).unwrap();
+        // The (class, deadline) total order survives the requeues.
+        for w in popped.windows(2) {
+            prop_assert!(rank(w[0]) <= rank(w[1]), "rank order violated after requeue");
+        }
+        // Requeued jobs precede same-rank jobs that never left the
+        // queue, and keep their mutual pop order.
+        for &k in &killed {
+            for other in 0..meta.len() as u64 {
+                if !killed.contains(&other) && rank(other) == rank(k) {
+                    prop_assert!(
+                        pos(k) < pos(other),
+                        "requeued {k} should precede untouched same-rank {other}"
+                    );
+                }
+            }
+        }
+        for w in killed.windows(2) {
+            if rank(w[0]) == rank(w[1]) {
+                prop_assert!(pos(w[0]) < pos(w[1]), "requeued jobs lost their mutual order");
+            }
         }
     }
 }
