@@ -16,6 +16,11 @@
 //! Servpod (§3.5.1): `loadlimit` (from the first load level whose
 //! sojourn-time CoV exceeds its average) and `slacklimit` (the iterative
 //! search of Algorithm 1).
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod contribution;
 pub mod loadlimit;

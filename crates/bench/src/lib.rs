@@ -19,6 +19,12 @@
 //! | [`ablate`] | ablations of Rhythm's design choices |
 //! | [`cluster`] | cluster-level Rhythm vs Heracles at N ∈ {4, 16, 64} |
 //! | [`trace`] | telemetry exports of one traced cluster run |
+//! | [`lint`] | rhythm-lint determinism & invariant pass over the workspace |
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod ablate;
 pub mod cluster;
@@ -33,6 +39,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod lint;
 pub mod report;
 pub mod tab1;
 pub mod trace;

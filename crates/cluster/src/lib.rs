@@ -24,6 +24,11 @@
 //!   bit-identical for any worker-thread count;
 //! * [`metrics`] — merged cluster-wide EMU / utilization plus job
 //!   completion-time and wasted-work statistics.
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod job;
 pub mod metrics;

@@ -18,6 +18,11 @@
 //! * [`subcontrollers`] — CPU/LLC, frequency, memory, network.
 //! * [`agent`] — the per-machine agent tying policy and subcontrollers
 //!   together.
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod action;
 pub mod agent;

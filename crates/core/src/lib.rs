@@ -17,6 +17,11 @@
 //! * [`bubble`] — the indirect ("bubble pressure") profiling alternative
 //!   the paper rejects in §3.2, implemented for comparison.
 //! * [`timeline`] — the Figure 17 running-process recorder.
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod bubble;
 pub mod experiment;

@@ -11,6 +11,11 @@
 //!
 //! * [`pressure`] — machine-wide pressure aggregation from BE grants.
 //! * [`model`] — the calibrated [`InterferenceModel`].
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod model;
 pub mod pressure;

@@ -1,0 +1,793 @@
+//! The rule engine: determinism and hygiene invariants over one file's
+//! token stream.
+//!
+//! Every rule carries a *crate-scope policy* — the set of crates and
+//! target kinds (lib / example / test) it applies to — so the same pass
+//! runs over the whole workspace and each file only answers for the
+//! contracts its layer actually sells. `#[cfg(test)]` modules inside
+//! library files are excluded from the determinism rules (D-rules) the
+//! same way `tests/` directories are.
+//!
+//! | rule | invariant | scope |
+//! |------|-----------|-------|
+//! | D01  | no `HashMap`/`HashSet` (iteration order is nondeterministic) | deterministic crates, lib code |
+//! | D02  | no wall clock (`Instant::now`, `SystemTime`) | all lib code except `crates/bench` |
+//! | D03  | no entropy randomness (`thread_rng`, `rand::random`, `from_entropy`) | everywhere outside tests |
+//! | D04  | no `f32` (mixed-width accumulation reorders; fingerprints are f64) | `sim`, `cluster`, `core` lib code |
+//! | U01  | every `unsafe` needs a `// SAFETY:` comment | everywhere |
+//! | H01  | every `#[allow(...)]` needs a justification | everywhere |
+//! | A01  | every `// lint:allow(...)` pragma needs a reason | everywhere |
+//!
+//! The escape hatch is `// lint:allow(<rule>) -- <reason>` on the
+//! finding's line or the line above; the reason is mandatory (A01).
+
+use crate::lexer::{Token, TokenKind};
+use crate::scope::{FileKind, FileScope};
+
+/// Crates whose library code must be bit-reproducible: golden fixtures,
+/// byte-identical telemetry and cluster determinism all flow through
+/// them.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "sim",
+    "core",
+    "machine",
+    "controller",
+    "cluster",
+    "telemetry",
+    "tracer",
+    "analyzer",
+    "interference",
+    "workloads",
+    "rhythm", // the root facade
+];
+
+/// Crates whose hot paths accumulate into f64 fingerprints; a stray
+/// `f32` reorders mixed-width accumulation.
+pub const F64_ONLY_CRATES: &[&str] = &["sim", "cluster", "core"];
+
+/// One registered rule, for documentation and reports.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Stable rule id (`D01`...).
+    pub id: &'static str,
+    /// One-line summary of the invariant.
+    pub summary: &'static str,
+}
+
+/// The rule registry. Pragmas naming ids outside this table are A01
+/// findings.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D01",
+        summary: "no HashMap/HashSet in deterministic crates (iteration order)",
+    },
+    RuleInfo {
+        id: "D02",
+        summary: "no wall clock (Instant::now / SystemTime) outside bench and examples",
+    },
+    RuleInfo {
+        id: "D03",
+        summary: "no entropy randomness (thread_rng / rand::random / from_entropy) outside tests",
+    },
+    RuleInfo {
+        id: "D04",
+        summary: "no f32 in sim/cluster/core hot paths (fingerprints are f64)",
+    },
+    RuleInfo {
+        id: "U01",
+        summary: "unsafe requires a // SAFETY: comment",
+    },
+    RuleInfo {
+        id: "H01",
+        summary: "#[allow(...)] requires a justification",
+    },
+    RuleInfo {
+        id: "A01",
+        summary: "lint:allow pragma requires a reason and known rule ids",
+    },
+];
+
+fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D01`...).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The canonical `file:line: rule message` form.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {} {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A finding silenced by a `lint:allow` pragma, with the pragma's reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppressed {
+    /// The silenced finding.
+    pub finding: Finding,
+    /// The reason given after `--` in the pragma.
+    pub reason: String,
+}
+
+/// The outcome of linting one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileLint {
+    /// Unsuppressed findings, sorted by (line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a well-formed pragma, same order.
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// A parsed, well-formed `// lint:allow(<ids>) -- <reason>` pragma.
+struct Pragma {
+    line: u32,
+    rules: Vec<String>,
+    reason: String,
+}
+
+/// Runs every rule over one file's tokens.
+pub fn lint_tokens(rel_path: &str, tokens: &[Token]) -> FileLint {
+    let scope = FileScope::classify(rel_path);
+    let comments: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Comment)
+        .collect();
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let test_regions = find_test_regions(&code);
+    let in_test = |line: u32| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let (pragmas, mut raw) = parse_pragmas(rel_path, &comments);
+
+    if d01_applies(&scope) {
+        d01_hash_containers(rel_path, &scope, &code, &in_test, &mut raw);
+    }
+    if d02_applies(&scope) {
+        d02_wall_clock(rel_path, &code, &in_test, &mut raw);
+    }
+    if d03_applies(&scope) {
+        d03_entropy(rel_path, &code, &in_test, &mut raw);
+    }
+    if d04_applies(&scope) {
+        d04_f32(rel_path, &scope, &code, &in_test, &mut raw);
+    }
+    u01_unsafe_safety(rel_path, &code, &comments, &mut raw);
+    h01_allow_justified(rel_path, &code, &comments, &mut raw);
+
+    // Apply suppression: a well-formed pragma covers its own line and the
+    // line below it.
+    let mut out = FileLint::default();
+    for f in raw {
+        let hit = pragmas.iter().find(|p| {
+            (p.line == f.line || p.line + 1 == f.line) && p.rules.iter().any(|r| r == f.rule)
+        });
+        match hit {
+            Some(p) => out.suppressed.push(Suppressed {
+                finding: f,
+                reason: p.reason.clone(),
+            }),
+            None => out.findings.push(f),
+        }
+    }
+    out.findings
+        .sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    out.suppressed.sort_by(|a, b| {
+        (a.finding.line, a.finding.rule).cmp(&(b.finding.line, b.finding.rule))
+    });
+    out
+}
+
+fn d01_applies(scope: &FileScope) -> bool {
+    scope.kind == FileKind::Lib && DETERMINISTIC_CRATES.contains(&scope.crate_name.as_str())
+}
+
+fn d02_applies(scope: &FileScope) -> bool {
+    scope.kind == FileKind::Lib && scope.crate_name != "bench"
+}
+
+fn d03_applies(scope: &FileScope) -> bool {
+    scope.kind != FileKind::Test
+}
+
+fn d04_applies(scope: &FileScope) -> bool {
+    scope.kind == FileKind::Lib && F64_ONLY_CRATES.contains(&scope.crate_name.as_str())
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.kind == TokenKind::Punct && t.text.len() == 1 && t.text.starts_with(c)
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}
+
+/// Line spans (inclusive) of `#[cfg(test)] mod <name> { ... }` bodies.
+fn find_test_regions(code: &[&Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < code.len() {
+        let attr = is_punct(code[i], '#')
+            && is_punct(code[i + 1], '[')
+            && is_ident(code[i + 2], "cfg")
+            && is_punct(code[i + 3], '(')
+            && is_ident(code[i + 4], "test")
+            && is_punct(code[i + 5], ')')
+            && is_punct(code[i + 6], ']');
+        if !attr {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes between #[cfg(test)] and the item.
+        let mut j = i + 7;
+        while j + 1 < code.len() && is_punct(code[j], '#') && is_punct(code[j + 1], '[') {
+            let mut depth = 0usize;
+            while j < code.len() {
+                if is_punct(code[j], '[') {
+                    depth += 1;
+                } else if is_punct(code[j], ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Only `mod` bodies form a region; other cfg(test) items are rare
+        // and stay subject to the rules.
+        if j < code.len() && is_ident(code[j], "mod") {
+            // Find the opening brace, then match it.
+            while j < code.len() && !is_punct(code[j], '{') {
+                j += 1;
+            }
+            if j < code.len() {
+                let start_line = code[j].line;
+                let mut depth = 0usize;
+                while j < code.len() {
+                    if is_punct(code[j], '{') {
+                        depth += 1;
+                    } else if is_punct(code[j], '}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let end_line = code[j.min(code.len() - 1)].line;
+                regions.push((start_line, end_line));
+            }
+        }
+        i = j.max(i + 7);
+    }
+    regions
+}
+
+/// Parses `lint:allow` pragmas out of the comment stream. A comment is
+/// a pragma only when its text *starts* with `lint:allow` (after the
+/// comment markers) — prose that merely mentions the syntax is inert.
+/// Malformed pragmas (missing reason, unknown rule id) become A01
+/// findings and do not suppress anything.
+fn parse_pragmas(rel_path: &str, comments: &[&Token]) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let stripped = c
+            .text
+            .trim_start_matches(['/', '!', '*', ' ', '\t']);
+        if !stripped.starts_with("lint:allow") {
+            continue;
+        }
+        let rest = &stripped["lint:allow".len()..];
+        let Some(open) = rest.find('(') else {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: "A01",
+                message: "malformed lint:allow pragma: expected `lint:allow(<rule>) -- <reason>`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: "A01",
+                message: "malformed lint:allow pragma: missing `)`".to_string(),
+            });
+            continue;
+        };
+        let ids: Vec<String> = rest[open + 1..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut ok = !ids.is_empty();
+        for id in &ids {
+            if !known_rule(id) {
+                ok = false;
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: c.line,
+                    rule: "A01",
+                    message: format!("unknown rule id `{id}` in lint:allow pragma"),
+                });
+            }
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = after
+            .strip_prefix("--")
+            .map(|r| r.trim().trim_end_matches("*/").trim())
+            .unwrap_or("");
+        if reason.is_empty() {
+            ok = false;
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: "A01",
+                message:
+                    "lint:allow pragma requires a reason: `// lint:allow(<rule>) -- <reason>`"
+                        .to_string(),
+            });
+        }
+        if ok {
+            pragmas.push(Pragma {
+                line: c.line,
+                rules: ids,
+                reason: reason.to_string(),
+            });
+        }
+    }
+    (pragmas, findings)
+}
+
+/// True when the identifier at `i` sits inside a `use` statement (an
+/// import is not a use site; flagging it would double-report).
+fn in_use_statement(code: &[&Token], i: usize) -> bool {
+    let lo = i.saturating_sub(40);
+    for j in (lo..i).rev() {
+        if is_punct(code[j], ';') {
+            return false;
+        }
+        if is_ident(code[j], "use") {
+            return true;
+        }
+    }
+    false
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+fn d01_hash_containers(
+    rel_path: &str,
+    scope: &FileScope,
+    code: &[&Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    // Pass A: every non-import mention of a hash container is a finding,
+    // and named bindings are registered for the iteration pass.
+    let mut bound: Vec<String> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        if in_use_statement(code, i) || in_test(t.line) {
+            continue;
+        }
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line: t.line,
+            rule: "D01",
+            message: format!(
+                "`{}` in deterministic crate `{}` — iteration order is nondeterministic; \
+                 use BTreeMap/BTreeSet, or `lint:allow(D01)` with a reason if lookup-only",
+                t.text, scope.crate_name
+            ),
+        });
+        // `name: HashMap<...>` or `name = HashMap::new()` (skipping `&`,
+        // `mut` between) registers `name`.
+        let mut j = i;
+        while j > 0 && (is_punct(code[j - 1], '&') || is_ident(code[j - 1], "mut")) {
+            j -= 1;
+        }
+        if j >= 2
+            && (is_punct(code[j - 1], ':') || is_punct(code[j - 1], '='))
+            && code[j - 2].kind == TokenKind::Ident
+        {
+            let name = code[j - 2].text.clone();
+            if !bound.contains(&name) {
+                bound.push(name);
+            }
+        }
+    }
+    // Pass B: iteration over a registered binding.
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !bound.contains(&t.text) || in_test(t.line) {
+            continue;
+        }
+        // `name.keys()` / `.values()` / `.drain()` / ...
+        if i + 3 < code.len()
+            && is_punct(code[i + 1], '.')
+            && code[i + 2].kind == TokenKind::Ident
+            && ITER_METHODS.contains(&code[i + 2].text.as_str())
+            && is_punct(code[i + 3], '(')
+        {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: code[i + 2].line,
+                rule: "D01",
+                message: format!(
+                    "iteration `.{}()` over hash container `{}` — order is nondeterministic",
+                    code[i + 2].text, t.text
+                ),
+            });
+        }
+        // `for x in &name {` / `for x in name {`
+        let mut j = i;
+        while j > 0 && (is_punct(code[j - 1], '&') || is_ident(code[j - 1], "mut")) {
+            j -= 1;
+        }
+        if j > 0
+            && is_ident(code[j - 1], "in")
+            && i + 1 < code.len()
+            && is_punct(code[i + 1], '{')
+        {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                rule: "D01",
+                message: format!(
+                    "`for ... in` over hash container `{}` — order is nondeterministic",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn d02_wall_clock(
+    rel_path: &str,
+    code: &[&Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(t.line) {
+            continue;
+        }
+        if t.text == "SystemTime" && !in_use_statement(code, i) {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                rule: "D02",
+                message: "wall clock `SystemTime` in deterministic code — use virtual `SimTime`"
+                    .to_string(),
+            });
+        }
+        if t.text == "Instant"
+            && i + 3 < code.len()
+            && is_punct(code[i + 1], ':')
+            && is_punct(code[i + 2], ':')
+            && is_ident(code[i + 3], "now")
+        {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                rule: "D02",
+                message: "wall clock `Instant::now` in deterministic code — use virtual `SimTime`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn d03_entropy(
+    rel_path: &str,
+    code: &[&Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(t.line) {
+            continue;
+        }
+        if t.text == "thread_rng" || t.text == "from_entropy" {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                rule: "D03",
+                message: format!(
+                    "entropy randomness `{}` — seed a `SimRng` instead",
+                    t.text
+                ),
+            });
+        }
+        if t.text == "rand"
+            && i + 3 < code.len()
+            && is_punct(code[i + 1], ':')
+            && is_punct(code[i + 2], ':')
+            && is_ident(code[i + 3], "random")
+        {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                rule: "D03",
+                message: "entropy randomness `rand::random` — seed a `SimRng` instead".to_string(),
+            });
+        }
+    }
+}
+
+fn d04_f32(
+    rel_path: &str,
+    scope: &FileScope,
+    code: &[&Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for t in code {
+        if in_test(t.line) {
+            continue;
+        }
+        let hit = (t.kind == TokenKind::Ident && t.text == "f32")
+            || (t.kind == TokenKind::Num && t.text.ends_with("f32"));
+        if hit {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                rule: "D04",
+                message: format!(
+                    "`f32` in `{}` hot path — fingerprints accumulate in f64; \
+                     mixed-width accumulation reorders",
+                    scope.crate_name
+                ),
+            });
+        }
+    }
+}
+
+fn u01_unsafe_safety(
+    rel_path: &str,
+    code: &[&Token],
+    comments: &[&Token],
+    out: &mut Vec<Finding>,
+) {
+    for t in code {
+        if !is_ident(t, "unsafe") {
+            continue;
+        }
+        let lo = t.line.saturating_sub(3);
+        let justified = comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= t.line && c.text.contains("SAFETY:"));
+        if !justified {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                rule: "U01",
+                message: "`unsafe` without a `// SAFETY:` comment on or above it".to_string(),
+            });
+        }
+    }
+}
+
+fn h01_allow_justified(
+    rel_path: &str,
+    code: &[&Token],
+    comments: &[&Token],
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in code.iter().enumerate() {
+        // `#[allow(` or `#![allow(`.
+        let attr_head = is_ident(t, "allow")
+            && i >= 2
+            && is_punct(code[i - 1], '[')
+            && (is_punct(code[i - 2], '#')
+                || (is_punct(code[i - 2], '!') && i >= 3 && is_punct(code[i - 3], '#')))
+            && i + 1 < code.len()
+            && is_punct(code[i + 1], '(');
+        if !attr_head {
+            continue;
+        }
+        // Find the attribute's closing `]` (bounded scan).
+        let mut close_line = t.line;
+        let mut reason_arg = false;
+        for tok in code.iter().skip(i).take(50) {
+            if is_ident(tok, "reason") {
+                reason_arg = true;
+            }
+            if is_punct(tok, ']') {
+                close_line = tok.line;
+                break;
+            }
+        }
+        let start_line = t.line.saturating_sub(1);
+        let justified = reason_arg
+            || comments
+                .iter()
+                .any(|c| c.line >= start_line && c.line <= close_line);
+        if !justified {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                rule: "H01",
+                message: "`#[allow(...)]` without a justification — add a trailing `// why` \
+                          comment (or one on the line above)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> FileLint {
+        lint_tokens(path, &lex(src))
+    }
+
+    fn rules_of(l: &FileLint) -> Vec<&'static str> {
+        l.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn d01_flags_declaration_and_iteration() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() {\n\
+                   let mut m: HashMap<u32, u32> = HashMap::new();\n\
+                   for (k, v) in &m {}\n\
+                   let _ = m.keys();\n\
+                   }\n";
+        let l = run("crates/sim/src/x.rs", src);
+        // Two type mentions on line 3, the for-loop, and `.keys()`.
+        assert_eq!(rules_of(&l), vec!["D01", "D01", "D01", "D01"]);
+        assert_eq!(l.findings[0].line, 3);
+        assert_eq!(l.findings[2].line, 4);
+        assert_eq!(l.findings[3].line, 5);
+    }
+
+    #[test]
+    fn d01_ignores_use_lines_tests_and_other_crates() {
+        let src = "use std::collections::{HashMap, HashSet};\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { let m: HashMap<u8, u8> = HashMap::new(); }\n\
+                   }\n";
+        assert!(run("crates/sim/src/x.rs", src).findings.is_empty());
+        let decl = "fn f() { let m: HashMap<u8, u8> = HashMap::new(); }";
+        assert!(run("crates/bench/src/x.rs", decl).findings.is_empty());
+        assert!(run("crates/sim/tests/x.rs", decl).findings.is_empty());
+        assert!(run("crates/sim/examples/x.rs", decl).findings.is_empty());
+    }
+
+    #[test]
+    fn d01_suppression_needs_matching_rule_and_line() {
+        let src = "// lint:allow(D01) -- lookup-only\n\
+                   fn f() { let m: HashMap<u8, u8> = HashMap::new(); }\n\
+                   fn g() { let n: HashSet<u8> = HashSet::new(); }\n";
+        let l = run("crates/core/src/x.rs", src);
+        assert_eq!(l.suppressed.len(), 2); // both mentions on line 2
+        assert_eq!(l.suppressed[0].reason, "lookup-only");
+        assert_eq!(rules_of(&l), vec!["D01", "D01"]); // line 3 not covered
+        assert_eq!(l.findings[0].line, 3);
+    }
+
+    #[test]
+    fn d02_wall_clock_scoped() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        let l = run("crates/controller/src/x.rs", src);
+        assert_eq!(rules_of(&l), vec!["D02", "D02"]);
+        assert!(run("crates/bench/src/x.rs", src).findings.is_empty());
+        assert!(run("crates/sim/examples/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn d03_entropy_everywhere_but_tests() {
+        let src = "fn f() { let r = thread_rng(); let x: u8 = rand::random(); }";
+        assert_eq!(
+            rules_of(&run("crates/bench/src/x.rs", src)),
+            vec!["D03", "D03"]
+        );
+        assert_eq!(rules_of(&run("examples/x.rs", src)), vec!["D03", "D03"]);
+        assert!(run("tests/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn d04_f32_including_literal_suffix() {
+        let src = "fn f(x: f32) -> f64 { (x as f64) + 1.5f32 as f64 }";
+        let l = run("crates/sim/src/x.rs", src);
+        assert_eq!(rules_of(&l), vec!["D04", "D04"]);
+        assert!(run("crates/machine/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn u01_safety_comment_window() {
+        let bad = "fn f() { unsafe { core(); } }";
+        let l = run("crates/sim/src/x.rs", bad);
+        assert_eq!(rules_of(&l), vec!["U01"]);
+        let good = "fn f() {\n// SAFETY: ptr is valid for the call\nunsafe { core(); } }";
+        assert!(run("crates/sim/src/x.rs", good).findings.is_empty());
+    }
+
+    #[test]
+    fn h01_allow_needs_justification() {
+        let bad = "#[allow(dead_code)]\nfn f() {}";
+        assert_eq!(rules_of(&run("crates/sim/src/x.rs", bad)), vec!["H01"]);
+        let trailing = "#[allow(dead_code)] // kept for the ffi table\nfn f() {}";
+        assert!(run("crates/sim/src/x.rs", trailing).findings.is_empty());
+        let above = "// scaffolding for the next PR\n#[allow(dead_code)]\nfn f() {}";
+        assert!(run("crates/sim/src/x.rs", above).findings.is_empty());
+        let reason = "#[allow(dead_code, reason = \"scaffolding\")]\nfn f() {}";
+        assert!(run("crates/sim/src/x.rs", reason).findings.is_empty());
+        let inner = "#![allow(dead_code)]\nfn f() {}";
+        assert_eq!(rules_of(&run("crates/sim/src/x.rs", inner)), vec!["H01"]);
+    }
+
+    #[test]
+    fn a01_pragma_requires_reason_and_known_rule() {
+        let src = "// lint:allow(D01)\n// lint:allow(Z99) -- whatever\nfn f() {}";
+        let l = run("crates/sim/src/x.rs", src);
+        assert_eq!(rules_of(&l), vec!["A01", "A01"]);
+        assert!(l.findings[0].message.contains("requires a reason"));
+        assert!(l.findings[1].message.contains("unknown rule id `Z99`"));
+    }
+
+    #[test]
+    fn prose_mentioning_the_pragma_syntax_is_inert() {
+        // Doc comments *about* the pragma (like this engine's own docs)
+        // must not parse as pragma attempts.
+        let src = "//! The escape hatch is `// lint:allow(D01) -- why`.\n\
+                   // see lint:allow(...) in DESIGN.md\nfn f() {}";
+        assert!(run("crates/sim/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn malformed_pragma_does_not_suppress() {
+        let src = "// lint:allow(D01)\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }";
+        let l = run("crates/sim/src/x.rs", src);
+        // A01 for the pragma plus the two unsuppressed D01s.
+        assert_eq!(rules_of(&l), vec!["A01", "D01", "D01"]);
+        assert!(l.suppressed.is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted_by_line_then_rule() {
+        let src = "fn f() { let t = Instant::now(); }\n\
+                   fn g() { let m: HashMap<u8, u8> = HashMap::new(); }\n";
+        let l = run("crates/sim/src/x.rs", src);
+        let lines: Vec<u32> = l.findings.iter().map(|f| f.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+}

@@ -1,0 +1,90 @@
+//! Path → policy-scope classification.
+//!
+//! Rules apply per *scope*, derived purely from a file's workspace-
+//! relative path: which crate it belongs to and whether it is library
+//! code, an example, or test/bench code. `#[cfg(test)]` modules inside
+//! library files are handled separately by the rule engine (they are a
+//! token-level, not a path-level, property).
+
+/// What kind of target a file belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library or binary source (`src/`).
+    Lib,
+    /// An example (`examples/` at the root or under a crate).
+    Example,
+    /// Integration tests or benches (`tests/`, `benches/`).
+    Test,
+}
+
+/// The policy scope of one file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileScope {
+    /// Short crate name (`"sim"`, `"bench"`, ...). The root facade and
+    /// its `tests/` / `examples/` classify as `"rhythm"`.
+    pub crate_name: String,
+    /// Library / example / test.
+    pub kind: FileKind,
+}
+
+impl FileScope {
+    /// Classifies a workspace-relative path (forward slashes).
+    pub fn classify(rel_path: &str) -> FileScope {
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("rhythm")
+            .to_string();
+        let kind = if rel_path.contains("/examples/") || rel_path.starts_with("examples/") {
+            FileKind::Example
+        } else if rel_path.contains("/tests/")
+            || rel_path.starts_with("tests/")
+            || rel_path.contains("/benches/")
+        {
+            FileKind::Test
+        } else {
+            FileKind::Lib
+        };
+        FileScope { crate_name, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_crate_lib() {
+        let s = FileScope::classify("crates/sim/src/calendar.rs");
+        assert_eq!(s.crate_name, "sim");
+        assert_eq!(s.kind, FileKind::Lib);
+    }
+
+    #[test]
+    fn classifies_crate_example_and_tests() {
+        assert_eq!(
+            FileScope::classify("crates/sim/examples/calbench.rs").kind,
+            FileKind::Example
+        );
+        assert_eq!(
+            FileScope::classify("crates/lint/tests/rules.rs").kind,
+            FileKind::Test
+        );
+        assert_eq!(
+            FileScope::classify("crates/bench/benches/pipeline.rs").kind,
+            FileKind::Test
+        );
+    }
+
+    #[test]
+    fn classifies_root_targets_as_facade() {
+        let s = FileScope::classify("src/lib.rs");
+        assert_eq!(s.crate_name, "rhythm");
+        assert_eq!(s.kind, FileKind::Lib);
+        assert_eq!(FileScope::classify("tests/golden.rs").kind, FileKind::Test);
+        assert_eq!(
+            FileScope::classify("examples/quickstart.rs").kind,
+            FileKind::Example
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Fixture-based rule-engine tests: known-bad sources with pinned
+//! `file:line: rule` output.
+//!
+//! The fixtures live under `tests/fixtures/` (which the workspace walk
+//! skips) and are linted under synthetic `crates/sim/src/...` labels so
+//! the deterministic-crate policy applies to them.
+
+use rhythm_lint::lint_source;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(p).expect("fixture readable")
+}
+
+#[test]
+fn determinism_fixture_pins_exact_findings() {
+    let src = fixture("bad_determinism.rs");
+    let label = "crates/sim/src/bad_determinism.rs";
+    let l = lint_source(label, &src);
+    let got: Vec<String> = l
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}:{}", f.file, f.line, f.rule))
+        .collect();
+    let want = [
+        "crates/sim/src/bad_determinism.rs:9:D01",  // HashMap type annotation
+        "crates/sim/src/bad_determinism.rs:9:D01",  // HashMap::new()
+        "crates/sim/src/bad_determinism.rs:11:D01", // for ... in &m
+        "crates/sim/src/bad_determinism.rs:14:D01", // m.keys()
+        "crates/sim/src/bad_determinism.rs:18:D02", // Instant::now
+        "crates/sim/src/bad_determinism.rs:19:D02", // SystemTime
+        "crates/sim/src/bad_determinism.rs:23:D03", // thread_rng
+        "crates/sim/src/bad_determinism.rs:24:D03", // rand::random
+        "crates/sim/src/bad_determinism.rs:27:D04", // x: f32
+        "crates/sim/src/bad_determinism.rs:28:D04", // 1.5f32 literal
+    ];
+    assert_eq!(got, want, "full findings: {:#?}", l.findings);
+    assert!(l.suppressed.is_empty());
+}
+
+#[test]
+fn hygiene_fixture_pins_exact_findings() {
+    let src = fixture("bad_hygiene.rs");
+    let l = lint_source("crates/sim/src/bad_hygiene.rs", &src);
+    let got: Vec<String> = l
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}", f.line, f.rule))
+        .collect();
+    assert_eq!(
+        got,
+        vec!["5:U01", "8:H01", "11:A01", "14:A01"],
+        "full findings: {:#?}",
+        l.findings
+    );
+    assert!(l.findings[2].message.contains("requires a reason"));
+    assert!(l.findings[3].message.contains("unknown rule id `Z99`"));
+}
+
+#[test]
+fn suppressed_fixture_is_clean_but_audited() {
+    let src = fixture("suppressed_clean.rs");
+    let l = lint_source("crates/sim/src/suppressed_clean.rs", &src);
+    assert!(
+        l.findings.is_empty(),
+        "expected clean, got: {:#?}",
+        l.findings
+    );
+    let got: Vec<String> = l
+        .suppressed
+        .iter()
+        .map(|s| format!("{}:{}:{}", s.finding.line, s.finding.rule, s.reason))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            "9:D01:lookup-only, never iterated",
+            "20:D02:operator-facing stopwatch, not sim time",
+        ]
+    );
+}
+
+#[test]
+fn same_source_under_exempt_scope_is_clean() {
+    // The identical bad source linted as bench code or an example only
+    // answers for the rules scoped there (D03 still applies to examples).
+    let src = fixture("bad_determinism.rs");
+    let as_bench = lint_source("crates/bench/src/bad.rs", &src);
+    assert!(
+        as_bench
+            .findings
+            .iter()
+            .all(|f| f.rule == "D03"),
+        "bench scope should only keep D03: {:#?}",
+        as_bench.findings
+    );
+    let as_test = lint_source("crates/sim/tests/bad.rs", &src);
+    assert!(as_test.findings.is_empty());
+}

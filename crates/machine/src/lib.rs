@@ -19,6 +19,11 @@
 //! * [`qdisc`] — network bandwidth shaping.
 //! * [`machine`] — the assembled [`Machine`] with LC/BE resource
 //!   accounting and capacity invariants.
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod alloc;
 pub mod cat;

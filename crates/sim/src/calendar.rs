@@ -9,7 +9,7 @@
 //!
 //! Pending events live in one of two places:
 //!
-//! * a **ring of buckets**, each covering [`WIDTH_NS`] of virtual time,
+//! * a **ring of buckets**, each covering `WIDTH_NS` of virtual time,
 //!   spanning a window of `SLOTS × WIDTH_NS` (64 ms) starting at
 //!   `window_start`. Every bucket is kept sorted (earliest event at the
 //!   back), so scheduling is a binary insert into a near-always-tiny

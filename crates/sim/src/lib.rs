@@ -24,6 +24,11 @@
 //! Everything in this crate is deterministic given a seed: two runs with the
 //! same seed produce bit-identical results, which the test suite and the
 //! figure-regeneration harness rely on.
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod arena;
 pub mod calendar;

@@ -155,6 +155,16 @@ pub enum EventKind {
     },
 }
 
+// The flight-recorder ring stores events inline (64 Ki × 16 bytes =
+// 1 MiB); a growing payload would silently double its memory footprint
+// and evict half the history. Every `Copy` type that can sit in a ring
+// slot is size-pinned at compile time — a new variant that breaks the
+// contract fails the build here, not in a test run.
+const _: () = assert!(std::mem::size_of::<Event>() <= 16);
+const _: () = assert!(std::mem::size_of::<EventKind>() <= 8);
+const _: () = assert!(std::mem::size_of::<ActionCode>() == 1);
+const _: () = assert!(std::mem::size_of::<AdjustKind>() == 1);
+
 impl EventKind {
     /// Snake-case discriminant used in exports.
     pub fn name(&self) -> &'static str {
@@ -241,12 +251,9 @@ impl Event {
 mod tests {
     use super::*;
 
-    #[test]
-    fn events_stay_compact() {
-        // The ring stores events inline; a growing payload would silently
-        // double the recorder's memory footprint.
-        assert!(std::mem::size_of::<Event>() <= 16);
-    }
+    // The `size_of::<Event>() <= 16` contract is a compile-time
+    // `const _: () = assert!(...)` next to the type definitions above;
+    // it needs no runtime test.
 
     #[test]
     fn action_code_round_trips_severity() {

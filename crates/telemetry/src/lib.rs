@@ -32,6 +32,11 @@
 //!
 //! Everything is off by default ([`TelemetryConfig::disabled`]); the
 //! engine's hot path only ever pays the `enabled` check.
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod audit;
 pub mod cluster;

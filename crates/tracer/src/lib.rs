@@ -33,6 +33,11 @@
 //! sojourn times may be attributed to the wrong request, but the
 //! *mean* sojourn per Servpod is invariant (§3.3, Figure 5) — the
 //! property tests in this crate verify that identity.
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod capture;
 pub mod cpg;

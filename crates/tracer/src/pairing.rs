@@ -101,9 +101,12 @@ impl Pairer {
     pub fn pair(&self, events: &[SysEvent]) -> PairingOutput {
         let mut out = PairingOutput::default();
         // FIFO of pending RECVs per context (intra-Servpod causality).
-        let mut pending: HashMap<ContextId, VecDeque<PendingRecv>> = HashMap::new();
+        // BTreeMap, not HashMap: the leftover-RECV accounting at the end
+        // iterates it, and iteration order must be deterministic (D01).
+        let mut pending: BTreeMap<ContextId, VecDeque<PendingRecv>> = BTreeMap::new();
         // FIFO of request labels per in-flight message identifier
         // (inter-Servpod causality).
+        // lint:allow(D01) -- lookup-only: entry()/get_mut() by MessageId, never iterated
         let mut in_flight: HashMap<MessageId, VecDeque<u64>> = HashMap::new();
         let mut next_label = 0u64;
 
@@ -344,6 +347,47 @@ mod tests {
         // Leaf pods are still exact.
         assert_eq!(out.sojourns(1), vec![5.0]);
         assert_eq!(out.sojourns(2), vec![8.0]);
+    }
+
+    #[test]
+    fn pairing_output_is_pinned() {
+        // Regression pin for the D01 fix (pending: HashMap → BTreeMap,
+        // in_flight kept lookup-only): the exact per-pod segment lists —
+        // labels, durations and order — must not move, only sums were
+        // ever guaranteed before.
+        let cfg = CaptureConfig {
+            persistent_connections: true,
+            non_blocking: true,
+            noise_events_per_request: 7,
+            ..CaptureConfig::default()
+        };
+        let events = capture(cfg, &[chain3(0), chain3(4), chain3(9)], 0xD01);
+        let out = Pairer::new(0).pair(&events);
+        assert_eq!(out.request_count, 3);
+        assert_eq!(out.filtered_noise, 21);
+        assert_eq!(out.pods(), vec![0, 1, 2]);
+        // Non-blocking mode closes one segment per work phase; the exact
+        // (label, duration) sequence below is the deterministic FIFO
+        // attribution order.
+        assert_eq!(
+            out.segments[&0],
+            vec![(0, 1.0), (1, 1.0), (2, 1.0), (0, 2.0), (1, 2.0), (2, 2.0)],
+            "pod 0 segments moved"
+        );
+        assert_eq!(
+            out.segments[&1],
+            vec![(0, 4.0), (1, 4.0), (2, 4.0), (0, 5.0), (1, 5.0), (2, 5.0)],
+            "pod 1 segments moved"
+        );
+        assert_eq!(
+            out.segments[&2],
+            vec![(0, 10.0), (1, 10.0), (2, 10.0)],
+            "pod 2 segments moved"
+        );
+        assert_eq!(out.sojourns(0), vec![3.0, 3.0, 3.0]);
+        assert_eq!(out.sojourns(1), vec![9.0, 9.0, 9.0]);
+        assert_eq!(out.unmatched_sends, 0);
+        assert_eq!(out.unmatched_recvs, 0);
     }
 
     #[test]

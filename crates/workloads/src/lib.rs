@@ -19,6 +19,11 @@
 //! * [`be`] — the seven BE jobs of Table 1 (pressure + progress models).
 //! * [`loadgen`] — constant and ClarkNet-like production load generators.
 //! * [`catalog`] — the Table 1 inventory, used by the harness.
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub mod apps;
 pub mod be;

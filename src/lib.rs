@@ -26,12 +26,18 @@
 //! assert!(out.completed > 0);
 //! assert!(out.p99_ms() > out.mean_ms());
 //! ```
+// The workspace is unsafe-free; lock that in at the crate root. If a
+// crate ever genuinely needs `unsafe`, downgrade its forbid to
+// `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
+// `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
+#![forbid(unsafe_code)]
 
 pub use rhythm_analyzer as analyzer;
 pub use rhythm_cluster as cluster;
 pub use rhythm_controller as controller;
 pub use rhythm_core as core;
 pub use rhythm_interference as interference;
+pub use rhythm_lint as lint;
 pub use rhythm_machine as machine;
 pub use rhythm_sim as sim;
 pub use rhythm_telemetry as telemetry;
