@@ -12,6 +12,7 @@
 
 use rhythm_workloads::BeSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Cluster-wide job identifier (dense, assigned at submission).
 pub type JobId = u64;
@@ -36,7 +37,10 @@ pub struct ClusterJob {
     /// Job id.
     pub id: JobId,
     /// The workload this job runs (one instance of `spec` = one job).
-    pub spec: BeSpec,
+    /// Shared: gang members and every offer the dispatcher posts hold
+    /// the same allocation, so the per-placement hot path never deep-
+    /// clones a spec.
+    pub spec: Arc<BeSpec>,
     /// Durable progress in `[0, 1]`: the last checkpoint that survives a
     /// kill.
     pub checkpoint: f64,
@@ -62,7 +66,7 @@ pub struct ClusterJob {
 
 impl ClusterJob {
     /// A fresh solitary best-effort job submitted at `submitted_s`.
-    pub fn new(id: JobId, spec: BeSpec, submitted_s: f64) -> ClusterJob {
+    pub fn new(id: JobId, spec: Arc<BeSpec>, submitted_s: f64) -> ClusterJob {
         ClusterJob {
             id,
             spec,
@@ -175,7 +179,7 @@ impl JobSpec {
 }
 
 /// Aggregate job outcomes of one cluster run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct JobStats {
     /// Jobs submitted.
     pub submitted: u64,
@@ -255,7 +259,7 @@ mod tests {
     use rhythm_workloads::BeKind;
 
     fn job() -> ClusterJob {
-        ClusterJob::new(0, BeSpec::of(BeKind::Wordcount), 0.0)
+        ClusterJob::new(0, Arc::new(BeSpec::of(BeKind::Wordcount)), 0.0)
     }
 
     #[test]
@@ -289,7 +293,7 @@ mod tests {
 
     #[test]
     fn completion_time_measured_from_submission() {
-        let mut j = ClusterJob::new(3, BeSpec::of(BeKind::CpuStress), 10.0);
+        let mut j = ClusterJob::new(3, Arc::new(BeSpec::of(BeKind::CpuStress)), 10.0);
         j.on_complete(110.0);
         assert_eq!(j.completion_time_s(), Some(100.0));
         assert_eq!(j.state, JobState::Done);
@@ -300,12 +304,12 @@ mod tests {
         let mut on_time = job();
         on_time.deadline_s = Some(100.0);
         on_time.on_complete(80.0);
-        let mut late = ClusterJob::new(1, BeSpec::of(BeKind::Wordcount), 0.0);
+        let mut late = ClusterJob::new(1, Arc::new(BeSpec::of(BeKind::Wordcount)), 0.0);
         late.deadline_s = Some(100.0);
         late.on_complete(120.0);
-        let mut unfinished = ClusterJob::new(2, BeSpec::of(BeKind::Wordcount), 0.0);
+        let mut unfinished = ClusterJob::new(2, Arc::new(BeSpec::of(BeKind::Wordcount)), 0.0);
         unfinished.deadline_s = Some(150.0);
-        let undated = ClusterJob::new(3, BeSpec::of(BeKind::Wordcount), 0.0);
+        let undated = ClusterJob::new(3, Arc::new(BeSpec::of(BeKind::Wordcount)), 0.0);
 
         assert!(!on_time.deadline_missed_at(300.0));
         assert!(late.deadline_missed_at(300.0));
@@ -340,9 +344,9 @@ mod tests {
         let mut a = job();
         a.on_kill(0.25, 0.10);
         a.on_complete(50.0);
-        let mut b = ClusterJob::new(1, BeSpec::of(BeKind::Wordcount), 0.0);
+        let mut b = ClusterJob::new(1, Arc::new(BeSpec::of(BeKind::Wordcount)), 0.0);
         b.on_complete(150.0);
-        let c = ClusterJob::new(2, BeSpec::of(BeKind::Wordcount), 0.0);
+        let c = ClusterJob::new(2, Arc::new(BeSpec::of(BeKind::Wordcount)), 0.0);
         let s = JobStats::from_jobs(&[a, b, c]);
         assert_eq!(s.submitted, 3);
         assert_eq!(s.completed, 2);

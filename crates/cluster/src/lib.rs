@@ -38,8 +38,10 @@ pub mod runner;
 pub mod state;
 
 pub use job::{ClusterJob, JobId, JobSpec, JobState, JobStats};
-pub use metrics::{machine_fingerprints, ClusterMetrics, ClusterOutcome, ClusterTelemetry};
+pub use metrics::{
+    machine_fingerprints, ClusterMetrics, ClusterOutcome, ClusterTelemetry, ShardingReport,
+};
 pub use placement::{CandidateMachine, PlacementPolicy, Placer};
-pub use queue::JobQueue;
+pub use queue::{JobQueue, QueueKey, SeqSource};
 pub use runner::{compare_cluster, run_cluster};
-pub use state::{global_index, machine_ref, replica_seed, ClusterConfig, MachineRef};
+pub use state::{global_index, machine_ref, replica_seed, ClusterConfig, MachineRef, ShardMap};

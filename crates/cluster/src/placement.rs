@@ -138,13 +138,12 @@ impl Placer {
             }
             PlacementPolicy::LeastPressure => {
                 Self::argmin(eligible.iter().map(|c| {
-                    let p = Pressure::from_machine(c.machine, specs);
-                    (c.global, p.cpu + p.llc + p.dram + p.net)
+                    (c.global, Self::pressure_score(c.machine, specs))
                 }))
             }
             PlacementPolicy::InterferenceScore => {
                 Self::argmin(eligible.iter().map(|c| {
-                    (c.global, self.score(job, c, specs))
+                    (c.global, self.score_on(job, c.component, c.machine, specs))
                 }))
             }
             PlacementPolicy::HeteroAware => {
@@ -155,9 +154,7 @@ impl Placer {
                 };
                 Self::argmin(eligible.iter().map(|c| {
                     let cap = Self::capacity(c.machine);
-                    let total = c.machine.spec().total_cores().max(1) as f64;
-                    let headroom = c.machine.free_core_count() as f64 / total;
-                    let mut s = self.score(job, c, specs) / (cap * headroom.max(0.05));
+                    let mut s = self.hetero_base(job, c.component, c.machine, specs);
                     if let Some(mean) = peer_mean {
                         // A gang finishes with its slowest member: penalise
                         // capacity mismatch against already-placed siblings.
@@ -173,7 +170,42 @@ impl Placer {
 
     /// How hard gang co-placement pulls toward capacity-matched peers
     /// (per unit of normalized-capacity mismatch).
-    const STRAGGLER_WEIGHT: f64 = 2.0;
+    pub(crate) const STRAGGLER_WEIGHT: f64 = 2.0;
+
+    /// The round-robin cursor (next global index the rotation tries).
+    pub(crate) fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Moves the round-robin cursor (the sharded dispatcher keeps its
+    /// own rotation state and mirrors it back here).
+    pub(crate) fn set_cursor(&mut self, cursor: usize) {
+        self.cursor = cursor;
+    }
+
+    /// The LeastPressure score of a machine: aggregate pressure of its
+    /// current BE population. Job-independent, so the sharded dispatcher
+    /// caches one ranking per dispatch pass.
+    pub(crate) fn pressure_score(machine: &Machine, specs: &BTreeMap<String, BeSpec>) -> f64 {
+        let p = Pressure::from_machine(machine, specs);
+        p.cpu + p.llc + p.dram + p.net
+    }
+
+    /// The HeteroAware base score (no gang context): predicted inflation
+    /// divided by normalized capacity × core headroom. The straggler
+    /// penalty is added on top by the caller when peers exist.
+    pub(crate) fn hetero_base(
+        &self,
+        job: &BeSpec,
+        component: &ComponentSpec,
+        machine: &Machine,
+        specs: &BTreeMap<String, BeSpec>,
+    ) -> f64 {
+        let cap = Self::capacity(machine);
+        let total = machine.spec().total_cores().max(1) as f64;
+        let headroom = machine.free_core_count() as f64 / total;
+        self.score_on(job, component, machine, specs) / (cap * headroom.max(0.05))
+    }
 
     /// A machine's compute capacity normalized to the paper testbed
     /// (40 cores × 2.0 GHz = 1.0).
@@ -182,25 +214,27 @@ impl Placer {
         spec.total_cores() as f64 * spec.max_freq_mhz as f64 / (40.0 * 2_000.0)
     }
 
-    /// Predicted LC service-time inflation on `c` with one probe instance
-    /// of `job` added to its current BE population.
-    fn score(
+    /// Predicted LC service-time inflation on `machine` (hosting
+    /// `component`) with one probe instance of `job` added to its
+    /// current BE population.
+    pub(crate) fn score_on(
         &self,
         job: &BeSpec,
-        c: &CandidateMachine<'_>,
+        component: &ComponentSpec,
+        machine: &Machine,
         specs: &BTreeMap<String, BeSpec>,
     ) -> f64 {
-        let mut p = Pressure::from_machine(c.machine, specs);
+        let mut p = Pressure::from_machine(machine, specs);
         // Probe with a couple of cores: a fresh instance starts at one
         // core but the controller grows it, and a 1-core probe barely
         // separates job characters.
-        let probe_cores = job.solo_cores.clamp(1, 2) as f64 * c.machine.be_dvfs.speed_fraction();
+        let probe_cores = job.solo_cores.clamp(1, 2) as f64 * machine.be_dvfs.speed_fraction();
         p.cpu += job.cpu_pressure_per_core * probe_cores;
         p.llc += job.llc_pressure_per_core * probe_cores;
         p.dram += job.dram_pressure_per_core * probe_cores;
-        p.net += (job.net_demand_mbps / c.machine.spec().nic_mbps).max(0.0);
+        p.net += (job.net_demand_mbps / machine.spec().nic_mbps).max(0.0);
         let p = p.clamped();
-        self.model.inflation(c.component, &p, c.machine)
+        self.model.inflation(component, &p, machine)
     }
 
     /// Deterministic argmin: strictly-smaller wins, so ties keep the
@@ -316,7 +350,7 @@ mod tests {
                 component: &svc.nodes[i].component,
             };
             let placer = Placer::new(PlacementPolicy::InterferenceScore, model);
-            sens.push((i, placer.score(&job, &c, &specs())));
+            sens.push((i, placer.score_on(&job, c.component, c.machine, &specs())));
         }
         let cands = [
             CandidateMachine {

@@ -1,16 +1,46 @@
-//! The parallel epoch-barrier cluster runner.
+//! The parallel epoch-barrier cluster runner, sharded for warehouse
+//! scale.
 //!
 //! Replicas advance **independently** between controller ticks: nothing
 //! couples two engines except the dispatcher, and the dispatcher only
 //! acts on controller signals, which are emitted every 2 s of virtual
 //! time. So the runner executes all engines up to the next epoch boundary
 //! on a pool of crossbeam worker threads, then performs the cluster-level
-//! bookkeeping (progress sync, admission binding, kill/requeue,
-//! completion, placement) in a **single-threaded merge in fixed machine
-//! order**. Every engine owns independent splitmix-derived RNG streams
-//! and the merge never observes scheduling order, so the result is
-//! bit-identical for any worker-thread count — determinism is a property
-//! of the protocol, not of luck.
+//! bookkeeping (admission binding, kill/requeue, completion, placement)
+//! in a **single-threaded merge in fixed machine order**. Every engine
+//! owns independent splitmix-derived RNG streams and the merge never
+//! observes scheduling order, so the result is bit-identical for any
+//! worker-thread count — determinism is a property of the protocol, not
+//! of luck.
+//!
+//! # Sharding
+//!
+//! Cluster state is partitioned into K replica-aligned shards
+//! ([`ShardMap`]), each owning its slice of the job queue, outstanding
+//! offers and instance→job bindings. The per-epoch hot path touches
+//! shard-local state: eligibility and placement scores are computed once
+//! per shard per dispatch pass (machines do not change state during a
+//! pass, so scores are cacheable), a shard with no machine signalling
+//! AllowBEGrowth is skipped outright, and shards with nothing queued
+//! contribute nothing to the pop loop.
+//!
+//! Sharding **never changes decisions** — results are bit-identical for
+//! any K, including K=1:
+//!
+//! * All shard queues draw sequence numbers from one shared
+//!   [`SeqSource`], so their [`QueueKey`]s are exactly the keys a single
+//!   global queue would assign; a K-way merge over the shard heads pops
+//!   in exactly global order.
+//! * Placement considers every shard's cached ranking and takes the
+//!   global argmin with the same tie-break as the unsharded placer
+//!   (strictly-smaller score wins, ties keep the lowest global index).
+//! * Shards are contiguous and replica-aligned, so the merge's
+//!   shard-major iteration *is* the old replica-major iteration.
+//!
+//! A job whose global argmin lands outside its home shard (`id % K`) is
+//! *stolen* by the destination shard: the placement is identical to the
+//! unsharded one, the steal is pure bookkeeping ([`ShardingReport`], a
+//! `ShardSteal` telemetry event tagged with the destination shard).
 //!
 //! Epoch protocol (epoch = controller period, paper: 2 s):
 //!
@@ -20,20 +50,26 @@
 //!    gang needs one eligible machine per live member or it goes back to
 //!    the queue untouched (all-or-nothing).
 //! 2. *Run* — every engine processes events up to the epoch end in
-//!    parallel (the controller tick at the boundary is included).
-//! 3. *Merge* — sync every engine's BE progress to the boundary, then in
-//!    replica order bind admissions to their offered jobs, roll killed
-//!    jobs back to their checkpoint and requeue them, and retire jobs
-//!    whose progress reached 1.0. A gang lifecycle pass follows: gangs
-//!    whose members all run are *formed*; a killed member — or patience
-//!    running out while forming — aborts the whole gang, rolling every
-//!    running member back to its checkpoint and requeueing the gang.
+//!    parallel (the controller tick at the boundary is included), then
+//!    syncs its own BE progress to the boundary — still inside the
+//!    parallel phase, since progress accrual is engine-local.
+//! 3. *Merge* — in shard-major (= replica) order bind admissions to
+//!    their offered jobs, roll killed jobs back to their checkpoint and
+//!    requeue them, and retire jobs whose progress reached 1.0. A gang
+//!    lifecycle pass follows: gangs whose members all run are *formed*;
+//!    a killed member — or patience running out while forming — aborts
+//!    the whole gang, rolling every running member back to its
+//!    checkpoint and requeueing the gang.
+//!
+//! [`QueueKey`]: crate::queue::QueueKey
 
 use crate::job::{ClusterJob, JobId, JobState};
-use crate::metrics::{machine_fingerprints, ClusterMetrics, ClusterOutcome, ClusterTelemetry};
-use crate::placement::{CandidateMachine, Placer};
-use crate::queue::JobQueue;
-use crate::state::{global_index, machine_ref, replica_seed, ClusterConfig};
+use crate::metrics::{
+    machine_fingerprints, ClusterMetrics, ClusterOutcome, ClusterTelemetry, ShardingReport,
+};
+use crate::placement::{PlacementPolicy, Placer};
+use crate::queue::{JobQueue, SeqSource};
+use crate::state::{global_index, machine_ref, replica_seed, ClusterConfig, ShardMap};
 use crossbeam::queue::SegQueue;
 use rhythm_controller::BeAction;
 use rhythm_core::experiment::{ControllerChoice, ExperimentConfig, ServiceContext};
@@ -45,7 +81,7 @@ use rhythm_telemetry::{ClusterEvent, ClusterEventKind, TailPoint};
 use rhythm_workloads::BeSpec;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A sense-reversing spin barrier for the epoch boundary.
 ///
@@ -108,33 +144,96 @@ struct GangTracker {
     forming: bool,
 }
 
-/// All cluster-level scheduling state: the job ledger, the shared queue,
-/// the placer, outstanding offers, instance→job bindings and gang
-/// trackers. Mutated only at the epoch barrier (single-threaded, fixed
-/// iteration order), so every decision is deterministic.
-struct Scheduler<'c> {
-    cfg: &'c ClusterConfig,
-    pods: usize,
-    jobs: Vec<ClusterJob>,
+/// One shard's per-pass placement ranking for one job spec: `(score,
+/// global)` ascending, ties ascending by global index — exactly the
+/// order the unsharded argmin would visit minima in. Machine state is
+/// constant during a dispatch pass (offers apply after the pop loop, a
+/// claimed machine is merely excluded), so scores computed once per pass
+/// are exact, collapsing the old O(jobs × machines) rescoring to
+/// O(specs × machines log machines) per epoch.
+struct Ranked {
+    order: Vec<(f64, usize)>,
+    /// Entries before this are taken; the head is this shard's current
+    /// best offer for the spec.
+    cursor: usize,
+}
+
+/// One scheduler shard: a contiguous replica-aligned slice of the
+/// cluster with its own queue, offers, bindings and per-pass placement
+/// cache. All mutation happens at the epoch barrier (single-threaded,
+/// fixed shard-major order).
+struct Shard {
+    /// Global machine range this shard owns.
+    globals: std::ops::Range<usize>,
+    /// This shard's slice of the job backlog (keys drawn from the shared
+    /// [`SeqSource`], so heads are comparable across shards).
     queue: JobQueue,
-    placer: Placer,
-    catalog: BTreeMap<String, BeSpec>,
-    /// Per-machine outstanding offer (global index → job id).
+    /// Outstanding offer per machine, indexed by `global - globals.start`.
     offered: Vec<Option<JobId>>,
     /// (global machine, instance) → job currently running there.
     bindings: BTreeMap<(usize, BeInstanceId), JobId>,
+    /// Scratch: machines eligible for new work this dispatch pass
+    /// (AllowBEGrowth, no outstanding offer), ascending global order.
+    eligible: Vec<usize>,
+    /// Scratch: per-spec rankings this dispatch pass (key `""` holds the
+    /// job-independent LeastPressure ranking).
+    ranked: BTreeMap<String, Ranked>,
+}
+
+impl Shard {
+    fn offer_slot(&mut self, g: usize) -> &mut Option<JobId> {
+        &mut self.offered[g - self.globals.start]
+    }
+}
+
+/// All cluster-level scheduling state: the job ledger, the sharded
+/// queues/offers/bindings, the placer and gang trackers. Mutated only at
+/// the epoch barrier (single-threaded, fixed iteration order), so every
+/// decision is deterministic — and, by construction, identical for any
+/// shard count.
+struct Scheduler<'c> {
+    cfg: &'c ClusterConfig,
+    pods: usize,
+    map: ShardMap,
+    jobs: Vec<ClusterJob>,
+    shards: Vec<Shard>,
+    /// Shared sequence counter: keeps shard queue keys globally ordered.
+    seq: SeqSource,
+    placer: Placer,
+    catalog: BTreeMap<String, BeSpec>,
     /// Gang id → tracker, for every gang entry of the plan.
     gangs: BTreeMap<u32, GangTracker>,
-    /// Scheduler events (gang lifecycle, deadline misses), emission
-    /// order. Only populated when telemetry is enabled.
+    /// Scheduler events (gang lifecycle, deadline misses, steals),
+    /// emission order. Only populated when telemetry is enabled.
     events: Vec<ClusterEvent>,
+    /// Jobs placed outside their home shard.
+    steals: u64,
+    /// Dispatch passes in which ≥ 1 shard was skipped (no eligible
+    /// machines).
+    fast_path_epochs: u64,
+    /// Normalized machine capacity per global index (pure function of
+    /// the machine spec; filled on first dispatch).
+    caps: Vec<f64>,
+    /// Scratch, reused across passes: machines claimed this pass…
+    taken: Vec<bool>,
+    /// …and which entries of `taken` to reset next pass.
+    touched: Vec<usize>,
+    /// Scratch: eligible globals for the round-robin rotation.
+    rr: BTreeSet<usize>,
+    /// Scratch: (machine, member) assignments of the current pass.
+    assignments: Vec<(usize, JobId)>,
+    /// Scratch: machines chosen for the current gang.
+    chosen: Vec<usize>,
+    /// Scratch: capacities of already-chosen gang siblings.
+    peer_caps: Vec<f64>,
 }
 
 impl<'c> Scheduler<'c> {
     /// Builds the job ledger from the config's effective plan (gang
-    /// entries expand to their instance count) and queues the work:
-    /// solitary jobs directly, gangs through their first member.
-    fn new(cfg: &'c ClusterConfig, pods: usize, managed: bool) -> Scheduler<'c> {
+    /// entries expand to their instance count) and queues the work on
+    /// each job's home shard: solitary jobs directly, gangs through
+    /// their first member.
+    fn new(cfg: &'c ClusterConfig, pods: usize, map: ShardMap, managed: bool) -> Scheduler<'c> {
         let mut jobs: Vec<ClusterJob> = Vec::new();
         let mut gangs = BTreeMap::new();
         for (entry, spec) in cfg.effective_plan().iter().enumerate() {
@@ -143,7 +242,7 @@ impl<'c> Scheduler<'c> {
             let mut members = Vec::with_capacity(k as usize);
             for _ in 0..k {
                 let id = jobs.len() as JobId;
-                let mut j = ClusterJob::new(id, spec.spec.clone(), 0.0);
+                let mut j = ClusterJob::new(id, Arc::new(spec.spec.clone()), 0.0);
                 j.priority = spec.priority;
                 j.deadline_s = spec.deadline_s;
                 j.gang = gang_id;
@@ -161,37 +260,65 @@ impl<'c> Scheduler<'c> {
                 );
             }
         }
-        let mut queue = match cfg.queue_aging_s {
-            Some(aging) => JobQueue::with_aging(aging),
-            None => JobQueue::new(),
-        };
+        let mut shards: Vec<Shard> = (0..map.count())
+            .map(|s| {
+                let globals = map.global_range(s);
+                Shard {
+                    offered: vec![None; globals.len()],
+                    globals,
+                    queue: match cfg.queue_aging_s {
+                        Some(aging) => JobQueue::with_aging(aging),
+                        None => JobQueue::new(),
+                    },
+                    bindings: BTreeMap::new(),
+                    eligible: Vec::new(),
+                    ranked: BTreeMap::new(),
+                }
+            })
+            .collect();
+        let mut seq = SeqSource::new();
         if managed {
             for j in &jobs {
-                match j.gang {
+                let leads_gang = match j.gang {
                     // One queue entry per gang: its first member.
-                    Some(gid) => {
-                        if gangs[&gid].members[0] == j.id {
-                            queue.submit_with(j.id, j.priority, j.deadline_s, 0.0);
-                        }
-                    }
-                    None => queue.submit_with(j.id, j.priority, j.deadline_s, 0.0),
+                    Some(gid) => gangs[&gid].members[0] == j.id,
+                    None => true,
+                };
+                if leads_gang {
+                    let s = seq.back();
+                    shards[map.home_shard(j.id)].queue.submit_with_seq(
+                        j.id,
+                        j.priority,
+                        j.deadline_s,
+                        0.0,
+                        s,
+                    );
                 }
             }
         }
         Scheduler {
             cfg,
             pods,
+            map,
+            taken: vec![false; cfg.machines],
             jobs,
-            queue,
+            shards,
+            seq,
             placer: Placer::new(
                 cfg.policy,
                 rhythm_interference::InterferenceModel::calibrated(),
             ),
             catalog: cfg.catalog(),
-            offered: vec![None; cfg.machines],
-            bindings: BTreeMap::new(),
             gangs,
             events: Vec::new(),
+            steals: 0,
+            fast_path_epochs: 0,
+            caps: Vec::new(),
+            touched: Vec::new(),
+            rr: BTreeSet::new(),
+            assignments: Vec::new(),
+            chosen: Vec::new(),
+            peer_caps: Vec::new(),
         }
     }
 
@@ -216,8 +343,17 @@ impl<'c> Scheduler<'c> {
                 kind: ClusterEventKind::DeadlineMiss,
                 job: jid,
                 gang: job.gang,
+                shard: None,
             });
         }
+    }
+
+    /// Requeues `jid` at the front of its class on its home shard.
+    fn requeue_home(&mut self, jid: JobId, now_s: f64) {
+        let seq = self.seq.front();
+        self.shards[self.map.home_shard(jid)]
+            .queue
+            .requeue_at_seq(jid, now_s, seq);
     }
 
     /// Epoch step 1: withdraw unconsumed solitary offers, then place
@@ -228,58 +364,123 @@ impl<'c> Scheduler<'c> {
     /// Runs on the main thread while the workers are parked at the epoch
     /// barrier, so the engine locks are uncontended.
     fn dispatch(&mut self, engines: &mut [MutexGuard<'_, Engine>], now_s: f64) {
-        self.queue.age(now_s);
+        for sh in &mut self.shards {
+            sh.queue.age(now_s);
+        }
         // Withdraw offers the controllers did not consume last epoch, in
         // reverse global order so the requeue-to-front restores the
         // original relative order. Offers of forming gangs stay out —
         // their patience counter bounds the wait instead.
-        for g in (0..self.cfg.machines).rev() {
-            let Some(jid) = self.offered[g] else { continue };
-            if self.jobs[jid as usize].gang.is_some() {
-                continue;
+        for si in (0..self.shards.len()).rev() {
+            let lo = self.shards[si].globals.start;
+            for slot in (0..self.shards[si].offered.len()).rev() {
+                let Some(jid) = self.shards[si].offered[slot] else {
+                    continue;
+                };
+                if self.jobs[jid as usize].gang.is_some() {
+                    continue;
+                }
+                self.shards[si].offered[slot] = None;
+                let r = machine_ref(lo + slot, self.pods);
+                engines[r.replica].set_be_offer(r.pod, None);
+                self.jobs[jid as usize].state = JobState::Queued;
+                self.requeue_home(jid, now_s);
             }
-            self.offered[g] = None;
-            let r = machine_ref(g, self.pods);
-            engines[r.replica].set_be_offer(r.pod, None);
-            self.jobs[jid as usize].state = JobState::Queued;
-            self.queue.requeue_at(jid, now_s);
         }
-        // Offer queued work while eligible machines remain.
-        let mut taken = vec![false; self.cfg.machines];
-        let mut assignments: Vec<(usize, JobId)> = Vec::new();
-        while let Some(jid) = self.queue.pop() {
+        // Capacity is a pure function of the machine spec: fill the
+        // cache once and never touch `Machine` for it again.
+        if self.caps.is_empty() {
+            self.caps = (0..self.cfg.machines)
+                .map(|g| {
+                    let r = machine_ref(g, self.pods);
+                    Placer::capacity(engines[r.replica].machine(r.pod))
+                })
+                .collect();
+        }
+        // Eligibility, once per pass per shard. Offers and controller
+        // signals do not change inside a pass, so this — and every score
+        // derived from it — stays valid until the pass ends. A shard
+        // with nothing eligible is skipped by every lookup below.
+        let mut any_skipped = false;
+        for sh in &mut self.shards {
+            sh.eligible.clear();
+            sh.ranked.clear();
+            for g in sh.globals.clone() {
+                if sh.offered[g - sh.globals.start].is_none()
+                    && allows_growth(engines, g, self.pods)
+                {
+                    sh.eligible.push(g);
+                }
+            }
+            any_skipped |= sh.eligible.is_empty();
+        }
+        if any_skipped {
+            self.fast_path_epochs += 1;
+        }
+        let rr_policy = self.placer.policy() == PlacementPolicy::RoundRobin;
+        self.rr.clear();
+        if rr_policy {
+            for sh in &self.shards {
+                self.rr.extend(sh.eligible.iter().copied());
+            }
+        }
+        let mut rr_cursor = self.placer.cursor();
+        for &g in &self.touched {
+            self.taken[g] = false;
+        }
+        self.touched.clear();
+        let mut assignments = std::mem::take(&mut self.assignments);
+        let mut chosen = std::mem::take(&mut self.chosen);
+        let mut peer_caps = std::mem::take(&mut self.peer_caps);
+        assignments.clear();
+        // Pop queued work in global key order (K-way merge over the
+        // shard heads) while eligible machines remain.
+        while let Some(home) = (0..self.shards.len())
+            .filter_map(|s| self.shards[s].queue.peek_key().map(|k| (k, s)))
+            .min()
+            .map(|(_, s)| s)
+        {
+            let jid = self.shards[home].queue.pop().expect("peeked head pops");
             let members: Vec<JobId> = match self.jobs[jid as usize].gang {
                 Some(gid) => self.live_members(gid),
                 None => vec![jid],
             };
-            let spec = self.jobs[jid as usize].spec.clone();
-            let mut chosen: Vec<usize> = Vec::new();
-            let mut peer_caps: Vec<f64> = Vec::new();
+            let spec = Arc::clone(&self.jobs[jid as usize].spec);
+            chosen.clear();
+            peer_caps.clear();
             for _ in 0..members.len() {
-                let pick = {
-                    let candidates: Vec<CandidateMachine<'_>> = (0..self.cfg.machines)
-                        .filter(|&g| {
-                            !taken[g]
-                                && self.offered[g].is_none()
-                                && allows_growth(engines, g, self.pods)
-                        })
-                        .map(|g| {
-                            let r = machine_ref(g, self.pods);
-                            CandidateMachine {
-                                global: g,
-                                machine: engines[r.replica].machine(r.pod),
-                                component: &engines[r.replica].service().nodes[r.pod].component,
-                            }
-                        })
-                        .collect();
-                    self.placer
-                        .choose_with_peers(&spec, &candidates, &self.catalog, &peer_caps)
+                let pick = if rr_policy {
+                    // First eligible machine at or after the cursor,
+                    // wrapping — the unsharded rotation exactly.
+                    let p = self
+                        .rr
+                        .range(rr_cursor..)
+                        .next()
+                        .copied()
+                        .or_else(|| self.rr.iter().next().copied());
+                    if let Some(g) = p {
+                        self.rr.remove(&g);
+                        rr_cursor = g + 1;
+                    }
+                    p
+                } else {
+                    pick_scored(
+                        &mut self.shards,
+                        &self.placer,
+                        &spec,
+                        &peer_caps,
+                        &self.taken,
+                        &self.caps,
+                        &self.catalog,
+                        engines,
+                        self.pods,
+                    )
                 };
                 match pick {
                     Some(g) => {
-                        taken[g] = true;
-                        let r = machine_ref(g, self.pods);
-                        peer_caps.push(Placer::capacity(engines[r.replica].machine(r.pod)));
+                        self.taken[g] = true;
+                        self.touched.push(g);
+                        peer_caps.push(self.caps[g]);
                         chosen.push(g);
                     }
                     None => break,
@@ -289,10 +490,10 @@ impl<'c> Scheduler<'c> {
                 // Not enough eligible machines this epoch (for a gang:
                 // all-or-nothing); release any partial claim and put the
                 // job back at the front of its class.
-                for g in chosen {
-                    taken[g] = false;
+                for &g in &chosen {
+                    self.taken[g] = false;
                 }
-                self.queue.requeue_at(jid, now_s);
+                self.requeue_home(jid, now_s);
                 break;
             }
             for (&g, &m) in chosen.iter().zip(&members) {
@@ -304,74 +505,97 @@ impl<'c> Scheduler<'c> {
                 tracker.patience_left = self.cfg.gang_patience_epochs.max(1);
             }
         }
-        for (g, jid) in assignments {
-            let r = machine_ref(g, self.pods);
-            self.offered[g] = Some(jid);
+        self.placer.set_cursor(rr_cursor);
+        for &(g, jid) in &assignments {
+            let dest = self.map.shard_of_global(g);
+            *self.shards[dest].offer_slot(g) = Some(jid);
             self.jobs[jid as usize].state = JobState::Offered(g);
-            let spec = self.jobs[jid as usize].spec.clone();
+            let spec = Arc::clone(&self.jobs[jid as usize].spec);
             let priority = self.jobs[jid as usize].priority;
+            let r = machine_ref(g, self.pods);
             engines[r.replica].set_be_offer_prio(r.pod, Some((spec, priority)));
-        }
-    }
-
-    /// Epoch step 3: the deterministic merge at the barrier.
-    fn merge(&mut self, engines: &mut [MutexGuard<'_, Engine>], now: SimTime) {
-        let now_s = now.as_secs_f64();
-        // Progress through the end of the epoch first, for *every*
-        // engine, with the allocations that were actually in force —
-        // after this, reading or mutating BE state (including the
-        // cross-replica gang rollback below) cannot mis-attribute any
-        // fraction of the tick.
-        for engine in engines.iter_mut() {
-            engine.sync_be_progress(now);
-        }
-        let mut dirty_gangs: BTreeSet<u32> = BTreeSet::new();
-        for (r, engine) in engines.iter_mut().enumerate() {
-            // Admissions: bind each new instance to the job offered to
-            // its machine.
-            for adm in engine.take_be_admissions() {
-                let g = global_index(r, adm.machine, self.pods);
-                if let Some(jid) = self.offered[g].take() {
-                    self.bindings.insert((g, adm.instance), jid);
-                    self.jobs[jid as usize].state = JobState::Running(g);
-                    engine.set_be_offer(adm.machine, None);
+            if dest != self.map.home_shard(jid) {
+                // Placed outside its home shard: identical decision to
+                // the unsharded argmin, recorded as a steal.
+                self.steals += 1;
+                if self.cfg.telemetry.enabled {
+                    self.events.push(ClusterEvent {
+                        t_s: now_s,
+                        kind: ClusterEventKind::ShardSteal,
+                        job: jid,
+                        gang: self.jobs[jid as usize].gang,
+                        shard: Some(dest as u32),
+                    });
                 }
             }
-            // Kills: roll back to the checkpoint and requeue — unless the
-            // instance had in fact already finished the job by kill time.
-            // A killed gang member marks its gang for the abort pass.
-            for kill in engine.take_be_kills() {
-                let g = global_index(r, kill.machine, self.pods);
-                if let Some(jid) = self.bindings.remove(&(g, kill.instance)) {
-                    if self.jobs[jid as usize].total_progress(kill.progress) >= 1.0 {
-                        self.complete(jid, now_s);
-                    } else {
-                        let job = &mut self.jobs[jid as usize];
-                        job.on_kill(kill.progress, self.cfg.checkpoint_fraction);
-                        match job.gang {
-                            Some(gid) => {
-                                dirty_gangs.insert(gid);
+        }
+        self.assignments = assignments;
+        self.chosen = chosen;
+        self.peer_caps = peer_caps;
+    }
+
+    /// Epoch step 3: the deterministic merge at the barrier. Every
+    /// engine's BE progress was already synced to the boundary by the
+    /// worker that ran it (engine-local work), so reading or mutating BE
+    /// state — including the cross-replica gang rollback — cannot
+    /// mis-attribute any fraction of the tick.
+    fn merge(&mut self, engines: &mut [MutexGuard<'_, Engine>], now: SimTime) {
+        let now_s = now.as_secs_f64();
+        let mut dirty_gangs: BTreeSet<u32> = BTreeSet::new();
+        // Shard-major, replicas ascending within each shard — shards are
+        // contiguous and replica-aligned, so this is exactly the old
+        // replica-major order.
+        for si in 0..self.shards.len() {
+            for r in self.map.replica_range(si) {
+                let engine = &mut engines[r];
+                // Admissions: bind each new instance to the job offered
+                // to its machine.
+                for adm in engine.take_be_admissions() {
+                    let g = global_index(r, adm.machine, self.pods);
+                    if let Some(jid) = self.shards[si].offer_slot(g).take() {
+                        self.shards[si].bindings.insert((g, adm.instance), jid);
+                        self.jobs[jid as usize].state = JobState::Running(g);
+                        engine.set_be_offer(adm.machine, None);
+                    }
+                }
+                // Kills: roll back to the checkpoint and requeue — unless
+                // the instance had in fact already finished the job by
+                // kill time. A killed gang member marks its gang for the
+                // abort pass.
+                for kill in engine.take_be_kills() {
+                    let g = global_index(r, kill.machine, self.pods);
+                    if let Some(jid) = self.shards[si].bindings.remove(&(g, kill.instance)) {
+                        if self.jobs[jid as usize].total_progress(kill.progress) >= 1.0 {
+                            self.complete(jid, now_s);
+                        } else {
+                            let job = &mut self.jobs[jid as usize];
+                            job.on_kill(kill.progress, self.cfg.checkpoint_fraction);
+                            match job.gang {
+                                Some(gid) => {
+                                    dirty_gangs.insert(gid);
+                                }
+                                None => self.requeue_home(jid, now_s),
                             }
-                            None => self.queue.requeue_at(jid, now_s),
                         }
                     }
                 }
-            }
-            // Completions: retire bound instances whose job reached 1.0.
-            let lo = (global_index(r, 0, self.pods), BeInstanceId::MIN);
-            let hi = (global_index(r + 1, 0, self.pods), BeInstanceId::MIN);
-            let bound: Vec<(usize, BeInstanceId, JobId)> = self
-                .bindings
-                .range(lo..hi)
-                .map(|(&(g, inst), &jid)| (g, inst, jid))
-                .collect();
-            for (g, inst, jid) in bound {
-                let pod = machine_ref(g, self.pods).pod;
-                let done = engine.be_progress(pod, inst).unwrap_or(0.0);
-                if self.jobs[jid as usize].total_progress(done) >= 1.0 {
-                    engine.remove_be(pod, inst);
-                    self.complete(jid, now_s);
-                    self.bindings.remove(&(g, inst));
+                // Completions: retire bound instances whose job reached
+                // 1.0.
+                let lo = (global_index(r, 0, self.pods), BeInstanceId::MIN);
+                let hi = (global_index(r + 1, 0, self.pods), BeInstanceId::MIN);
+                let bound: Vec<(usize, BeInstanceId, JobId)> = self.shards[si]
+                    .bindings
+                    .range(lo..hi)
+                    .map(|(&(g, inst), &jid)| (g, inst, jid))
+                    .collect();
+                for (g, inst, jid) in bound {
+                    let pod = machine_ref(g, self.pods).pod;
+                    let done = engine.be_progress(pod, inst).unwrap_or(0.0);
+                    if self.jobs[jid as usize].total_progress(done) >= 1.0 {
+                        engine.remove_be(pod, inst);
+                        self.complete(jid, now_s);
+                        self.shards[si].bindings.remove(&(g, inst));
+                    }
                 }
             }
         }
@@ -408,6 +632,7 @@ impl<'c> Scheduler<'c> {
                         kind: ClusterEventKind::GangFormed,
                         job: live.first().copied().unwrap_or_default(),
                         gang: Some(gid),
+                        shard: None,
                     });
                 }
             } else {
@@ -429,26 +654,27 @@ impl<'c> Scheduler<'c> {
         for &m in &live {
             match self.jobs[m as usize].state {
                 JobState::Offered(g) => {
-                    self.offered[g] = None;
+                    let si = self.map.shard_of_global(g);
+                    *self.shards[si].offer_slot(g) = None;
                     let r = machine_ref(g, self.pods);
                     engines[r.replica].set_be_offer(r.pod, None);
                     self.jobs[m as usize].state = JobState::Queued;
                 }
                 JobState::Running(g) => {
+                    let si = self.map.shard_of_global(g);
                     let range = (g, BeInstanceId::MIN)..(g + 1, BeInstanceId::MIN);
-                    let inst = self
+                    let inst = self.shards[si]
                         .bindings
                         .range(range)
                         .find(|&(_, &jid)| jid == m)
                         .map(|(&(_, inst), _)| inst);
                     if let Some(inst) = inst {
                         let r = machine_ref(g, self.pods);
-                        // Progress was synced for all engines at the top
-                        // of the merge, so the rollback banks exactly
-                        // what ran.
+                        // Progress was synced for all engines before the
+                        // merge, so the rollback banks exactly what ran.
                         let progress = engines[r.replica].be_progress(r.pod, inst).unwrap_or(0.0);
                         engines[r.replica].remove_be(r.pod, inst);
-                        self.bindings.remove(&(g, inst));
+                        self.shards[si].bindings.remove(&(g, inst));
                         self.jobs[m as usize].on_kill(progress, self.cfg.checkpoint_fraction);
                     }
                 }
@@ -463,23 +689,122 @@ impl<'c> Scheduler<'c> {
             // representative carries the gang's class and deadline into
             // the queue.
             let job = &self.jobs[leader as usize];
-            self.queue
-                .adopt(leader, job.priority, job.deadline_s, job.submitted_s);
-            self.queue.requeue_at(leader, now_s);
+            let (priority, deadline_s, submitted_s) = (job.priority, job.deadline_s, job.submitted_s);
+            self.shards[self.map.home_shard(leader)]
+                .queue
+                .adopt(leader, priority, deadline_s, submitted_s);
+            self.requeue_home(leader, now_s);
             if self.cfg.telemetry.enabled {
                 self.events.push(ClusterEvent {
                     t_s: now_s,
                     kind: ClusterEventKind::GangAborted,
                     job: leader,
                     gang: Some(gid),
+                    shard: None,
                 });
             }
         }
     }
+
+    /// Queue requeues summed over shards (one shared [`SeqSource`], so
+    /// the sum equals the single-queue count).
+    fn requeues(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue.requeue_count()).sum()
+    }
+}
+
+/// The global argmin over every shard's cached ranking for `spec`, with
+/// the unsharded tie-break (strictly-smaller score wins; equal scores
+/// keep the lowest global index). Rankings are built lazily, once per
+/// shard per spec per pass; shards with no eligible machine cost
+/// nothing.
+#[allow(clippy::too_many_arguments)]
+fn pick_scored(
+    shards: &mut [Shard],
+    placer: &Placer,
+    spec: &BeSpec,
+    peer_caps: &[f64],
+    taken: &[bool],
+    caps: &[f64],
+    catalog: &BTreeMap<String, BeSpec>,
+    engines: &[MutexGuard<'_, Engine>],
+    pods: usize,
+) -> Option<usize> {
+    let policy = placer.policy();
+    // LeastPressure ignores the job entirely: one shared ranking.
+    let key: &str = if policy == PlacementPolicy::LeastPressure {
+        ""
+    } else {
+        &spec.name
+    };
+    let peered = policy == PlacementPolicy::HeteroAware && !peer_caps.is_empty();
+    let peer_mean = peer_caps.iter().sum::<f64>() / peer_caps.len().max(1) as f64;
+    let mut best: Option<(f64, usize)> = None;
+    let better = |best: &mut Option<(f64, usize)>, s: f64, g: usize| match *best {
+        None => *best = Some((s, g)),
+        Some((bs, bg)) if s < bs || (s == bs && g < bg) => *best = Some((s, g)),
+        _ => {}
+    };
+    for sh in shards.iter_mut() {
+        if sh.eligible.is_empty() {
+            continue;
+        }
+        if !sh.ranked.contains_key(key) {
+            let mut order: Vec<(f64, usize)> = Vec::with_capacity(sh.eligible.len());
+            for &g in &sh.eligible {
+                let r = machine_ref(g, pods);
+                let machine = engines[r.replica].machine(r.pod);
+                let component = &engines[r.replica].service().nodes[r.pod].component;
+                let s = match policy {
+                    PlacementPolicy::LeastPressure => Placer::pressure_score(machine, catalog),
+                    PlacementPolicy::InterferenceScore => {
+                        placer.score_on(spec, component, machine, catalog)
+                    }
+                    PlacementPolicy::HeteroAware => {
+                        placer.hetero_base(spec, component, machine, catalog)
+                    }
+                    PlacementPolicy::RoundRobin => unreachable!("RR uses the rotation set"),
+                };
+                order.push((s, g));
+            }
+            // Scores are finite and non-negative (pressures, inflations
+            // and capacities all are), so total_cmp is the plain `<`
+            // order here; ties keep ascending global.
+            order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            sh.ranked.insert(key.to_string(), Ranked { order, cursor: 0 });
+        }
+        let ranked = sh.ranked.get_mut(key).expect("ranking just built");
+        if peered {
+            // Gang context shifts every machine's score by its own
+            // capacity-mismatch penalty, which reorders arbitrarily:
+            // scan the cached bases (skipping claimed machines). The
+            // explicit (score, global) tie-break makes the scan order
+            // irrelevant.
+            for &(base, g) in &ranked.order {
+                if taken[g] {
+                    continue;
+                }
+                let s = base + Placer::STRAGGLER_WEIGHT * (caps[g] - peer_mean).abs();
+                better(&mut best, s, g);
+            }
+        } else {
+            // Head of the ranking, skipping machines claimed earlier in
+            // the pass (claims never revert mid-pass, so the cursor only
+            // moves forward).
+            while ranked.cursor < ranked.order.len() && taken[ranked.order[ranked.cursor].1] {
+                ranked.cursor += 1;
+            }
+            if let Some(&(s, g)) = ranked.order.get(ranked.cursor) {
+                better(&mut best, s, g);
+            }
+        }
+    }
+    best.map(|(_, g)| g)
 }
 
 /// Runs one cluster experiment: `cfg.machines` machines under `choice`,
-/// with the shared BE backlog dispatched by `cfg.policy`.
+/// with the shared BE backlog dispatched by `cfg.policy` across
+/// [`ClusterConfig::shards`] scheduler shards.
 ///
 /// # Panics
 ///
@@ -525,11 +850,12 @@ pub fn run_cluster(
                 // This replica's slice of the per-machine hardware.
                 ec.machine_specs = cfg.machine_specs[r * pods..(r + 1) * pods].to_vec();
             }
-            Engine::new(std::sync::Arc::clone(&ctx.service), ec)
+            Engine::new(Arc::clone(&ctx.service), ec)
         })
         .collect();
 
-    let mut sched = Scheduler::new(cfg, pods, managed);
+    let map = ShardMap::new(replicas, pods, cfg.shards);
+    let mut sched = Scheduler::new(cfg, pods, map, managed);
 
     let epoch = SimDuration::from_millis(cfg.controller_period_ms.max(100));
     let end = SimTime::ZERO + SimDuration::from_secs(cfg.duration_s);
@@ -540,7 +866,9 @@ pub fn run_cluster(
     // run. Workers wait at a spin barrier; the main thread opens each
     // epoch by publishing the target time and filling the task queue,
     // helps drain it, and does the single-threaded merge while the
-    // workers spin at the next barrier.
+    // workers spin at the next barrier. Whoever ran an engine also syncs
+    // its BE progress to the boundary — engine-local work that used to
+    // serialize inside the merge.
     let workers = cfg.threads.max(1).min(engines.len());
     let mut cluster_tail: Vec<TailPoint> = Vec::new();
     let slots: Vec<Mutex<Engine>> = engines.into_iter().map(Mutex::new).collect();
@@ -548,6 +876,16 @@ pub fn run_cluster(
     let tasks: SegQueue<usize> = SegQueue::new();
     let until = AtomicU64::new(0);
     let done = AtomicBool::new(false);
+
+    let advance = |i: usize, target: SimTime| {
+        let mut engine = slots[i].lock().expect("engine slot poisoned");
+        engine.run_until(target);
+        if target != SimTime::MAX {
+            // The final drain has no merge after it: nothing reads BE
+            // progress past `end`, so only epoch boundaries sync.
+            engine.sync_be_progress(target);
+        }
+    };
 
     crossbeam::scope(|s| {
         for _ in 1..workers {
@@ -558,7 +896,7 @@ pub fn run_cluster(
                 }
                 let target = SimTime::from_nanos(until.load(Ordering::Acquire));
                 while let Some(i) = tasks.pop() {
-                    slots[i].lock().expect("engine slot poisoned").run_until(target);
+                    advance(i, target);
                 }
                 barrier.wait();
             });
@@ -574,7 +912,7 @@ pub fn run_cluster(
             }
             barrier.wait();
             while let Some(i) = tasks.pop() {
-                slots[i].lock().expect("engine slot poisoned").run_until(target);
+                advance(i, target);
             }
             barrier.wait();
         };
@@ -638,7 +976,7 @@ pub fn run_cluster(
         &outputs,
         &per_replica,
         &sched.jobs,
-        sched.queue.requeue_count(),
+        sched.requeues(),
         cfg.duration_s as f64,
     );
     let telemetry = cfg.telemetry.enabled.then(|| ClusterTelemetry {
@@ -651,6 +989,11 @@ pub fn run_cluster(
     });
     ClusterOutcome {
         metrics,
+        sharding: ShardingReport {
+            shards: map.count(),
+            steals: sched.steals,
+            fast_path_epochs: sched.fast_path_epochs,
+        },
         per_replica,
         jobs: sched.jobs,
         fingerprints,
@@ -715,6 +1058,8 @@ mod tests {
             out.metrics.jobs
         );
         assert_eq!(out.fingerprints.len(), 2);
+        assert_eq!(out.sharding.shards, 1, "one replica cannot shard further");
+        assert_eq!(out.sharding.steals, 0, "K=1 never steals");
     }
 
     #[test]
@@ -788,5 +1133,30 @@ mod tests {
         for j in &out.jobs {
             assert_eq!(j.gang, Some(0));
         }
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded() {
+        // The linchpin invariant, in miniature: the same 8-machine run
+        // at K=1 and K=4 must produce identical fingerprints, metrics
+        // and job outcomes (sharding changes cost, never decisions).
+        let ctx = ctx();
+        let mut c = small_cfg();
+        c.machines = 8;
+        c.duration_s = 60;
+        c.policy = PlacementPolicy::InterferenceScore;
+        let run = |shards: usize| {
+            let mut c = c.clone();
+            c.shards = shards;
+            run_cluster(&ctx, &ControllerChoice::Rhythm, &c)
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(b.sharding.shards, 4);
+        assert_eq!(a.fingerprints, b.fingerprints);
+        assert_eq!(a.metrics.requeues, b.metrics.requeues);
+        assert_eq!(a.metrics.completed_requests, b.metrics.completed_requests);
+        assert_eq!(a.metrics.jobs, b.metrics.jobs);
+        assert_eq!(a.sharding.steals, 0, "K=1 cannot steal");
     }
 }

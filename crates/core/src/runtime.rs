@@ -400,8 +400,10 @@ pub struct Engine {
     // Cluster interface (epoch-stepped runs).
     started: bool,
     /// Per-machine job offered by the cluster dispatcher (external
-    /// mode), with its priority class.
-    be_offers: Vec<Option<(BeSpec, u8)>>,
+    /// mode), with its priority class. `Arc`: the dispatcher shares one
+    /// allocation per job across its ledger and every offer, so posting
+    /// an offer is a pointer bump, not a deep spec clone.
+    be_offers: Vec<Option<(Arc<BeSpec>, u8)>>,
     /// Per-machine, per-instance progress, accrued over the *whole* run
     /// (cluster job completion times include warm-up, unlike the
     /// measured-window integrals above).
@@ -602,27 +604,28 @@ impl Engine {
     /// machine `i`, at priority 0. Only meaningful with
     /// [`EngineConfig::external_be`].
     pub fn set_be_offer(&mut self, i: usize, offer: Option<BeSpec>) {
-        self.set_be_offer_prio(i, offer.map(|s| (s, 0)));
+        self.set_be_offer_prio(i, offer.map(|s| (Arc::new(s), 0)));
     }
 
     /// Sets (or clears) the BE job the cluster dispatcher offers to
     /// machine `i`, tagged with its priority class (0 = lowest). The
     /// controller admits the instance at that class, so preemption can
-    /// select victims by priority later.
-    pub fn set_be_offer_prio(&mut self, i: usize, offer: Option<(BeSpec, u8)>) {
+    /// select victims by priority later. The spec is shared, not cloned:
+    /// the cluster ledger and the offer hold the same allocation.
+    pub fn set_be_offer_prio(&mut self, i: usize, offer: Option<(Arc<BeSpec>, u8)>) {
         if let Some((spec, _)) = &offer {
             // The pressure model looks workloads up by name; make sure
             // offered specs are resolvable even if absent from `cfg.bes`.
             self.be_specs
                 .entry(spec.name.clone())
-                .or_insert_with(|| spec.clone());
+                .or_insert_with(|| (**spec).clone());
         }
         self.be_offers[i] = offer;
     }
 
     /// The job currently offered to machine `i`.
     pub fn be_offer(&self, i: usize) -> Option<&BeSpec> {
-        self.be_offers[i].as_ref().map(|(s, _)| s)
+        self.be_offers[i].as_ref().map(|(s, _)| &**s)
     }
 
     /// Cumulative progress (fraction of one job) of BE instance
@@ -1376,7 +1379,7 @@ impl Engine {
                     // per machine per epoch; the machine's own queue is
                     // empty unless an offer is posted.
                     match &be_offers[i] {
-                        Some((spec, prio)) => (true, spec, *prio),
+                        Some((spec, prio)) => (true, &**spec, *prio),
                         None => {
                             let Some(fallback) = bes.first() else {
                                 continue;

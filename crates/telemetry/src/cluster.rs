@@ -20,6 +20,9 @@ pub enum ClusterEventKind {
     /// A job completed after its deadline, or the run ended with the
     /// deadline already passed.
     DeadlineMiss,
+    /// A job queued in one scheduler shard was placed on a machine of
+    /// another shard at the epoch barrier (cross-shard work stealing).
+    ShardSteal,
 }
 
 impl ClusterEventKind {
@@ -29,6 +32,7 @@ impl ClusterEventKind {
             ClusterEventKind::GangFormed => "gang_formed",
             ClusterEventKind::GangAborted => "gang_aborted",
             ClusterEventKind::DeadlineMiss => "deadline_miss",
+            ClusterEventKind::ShardSteal => "shard_steal",
         }
     }
 }
@@ -44,6 +48,10 @@ pub struct ClusterEvent {
     pub job: u64,
     /// Gang id for gang events (`None` for solitary jobs).
     pub gang: Option<u32>,
+    /// Scheduler shard that recorded the event (`None` when the runner
+    /// is unsharded). For steals this is the *destination* shard — the
+    /// shard whose machine absorbed the job.
+    pub shard: Option<u32>,
 }
 
 impl ClusterEvent {
@@ -57,6 +65,9 @@ impl ClusterEvent {
         ];
         if let Some(gid) = self.gang {
             pairs.push(("gang".into(), Value::UInt(gid as u64)));
+        }
+        if let Some(shard) = self.shard {
+            pairs.push(("shard".into(), Value::UInt(shard as u64)));
         }
         Value::Object(pairs)
     }
@@ -73,17 +84,22 @@ mod tests {
             kind: ClusterEventKind::GangFormed,
             job: 7,
             gang: Some(3),
+            shard: Some(2),
         };
         let line = ev.to_value().to_json_string();
         assert!(line.starts_with("{\"type\":\"cluster_event\""), "{line}");
         assert!(line.contains("\"kind\":\"gang_formed\""), "{line}");
         assert!(line.contains("\"gang\":3"), "{line}");
+        assert!(line.contains("\"shard\":2"), "{line}");
         let solo = ClusterEvent {
             t_s: 30.0,
             kind: ClusterEventKind::DeadlineMiss,
             job: 9,
             gang: None,
+            shard: None,
         };
-        assert!(!solo.to_value().to_json_string().contains("gang"), "no gang key");
+        let line = solo.to_value().to_json_string();
+        assert!(!line.contains("gang"), "no gang key");
+        assert!(!line.contains("shard"), "no shard key");
     }
 }

@@ -49,7 +49,7 @@ pub mod prelude {
     pub use rhythm_analyzer::{contributions, find_loadlimit, find_slacklimits, SojournProfile};
     pub use rhythm_cluster::{
         compare_cluster, run_cluster, ClusterConfig, ClusterMetrics, ClusterOutcome,
-        ClusterTelemetry, JobSpec, PlacementPolicy,
+        ClusterTelemetry, JobSpec, PlacementPolicy, ShardMap, ShardingReport,
     };
     pub use rhythm_controller::{BeAction, ThresholdPolicy, Thresholds};
     pub use rhythm_core::experiment::{ControllerChoice, ExperimentConfig, ServiceContext};
