@@ -9,6 +9,10 @@
 //! repro --json <id>  # print the JSON document instead of text tables
 //! repro cluster --hetero  # heterogeneous 4-machine cell instead of the
 //!                         # homogeneous N ∈ {4,16,64} sweep
+//! repro snapshot [--machines N] [--epoch E] [--out FILE]
+//!                         # capture the standard cell at an epoch barrier
+//! repro resume FILE       # continue a capture to the end of its horizon
+//! repro snapshot-diff A B # structural diff of two captures
 //! ```
 //!
 //! Results are written as text + JSON under `results/` (override with
@@ -25,6 +29,14 @@ fn main() -> std::io::Result<()> {
     let hetero = args.iter().any(|a| a == "--hetero");
     args.retain(|a| a != "--hetero");
     b::report::set_json_stdout(json_mode);
+    // The snapshot family takes its own flags/positionals, not a target
+    // list — dispatch before the experiment loop.
+    match args.first().map(String::as_str) {
+        Some("snapshot") => return b::snapshotcli::snapshot(&args[1..]),
+        Some("resume") => return b::snapshotcli::resume(&args[1..]),
+        Some("snapshot-diff") => return b::snapshotcli::diff(&args[1..]),
+        _ => {}
+    }
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "tab1",

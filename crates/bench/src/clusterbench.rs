@@ -1,6 +1,7 @@
 //! Cluster runner scaling harness.
 //!
-//! Two grids, one report (`BENCH_cluster.json`, schema v2):
+//! Two grids plus a snapshot-cost probe, one report
+//! (`BENCH_cluster.json`, schema v2):
 //!
 //! * **Thread sweep** — times `run_cluster` wall-clock on the 16-machine
 //!   cell at worker-thread counts {1, 2, 4, 8}. Because cluster results
@@ -16,13 +17,16 @@
 //!   throughput should stay roughly flat as N grows (the per-epoch hot
 //!   path is shard-local), where the unsharded dispatcher degraded
 //!   quadratically.
+//! * **Snapshot overhead** — the N=256 cell with and without one
+//!   mid-run epoch-barrier capture ([`rhythm_cluster::ClusterRunner`]),
+//!   reported as `snapshot_overhead.overhead_frac` (target < 0.05).
 //!
 //! ```text
 //! cargo run --release --bin cluster_bench            # -> BENCH_cluster.json
 //! cargo run --release --bin cluster_bench -- --quick # N ≤ 256, shorter runs
 //! ```
 
-use rhythm_cluster::run_cluster;
+use rhythm_cluster::{run_cluster, ClusterRunner};
 use rhythm_core::experiment::ControllerChoice;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -176,6 +180,52 @@ fn scaling_grid(quick: bool) -> serde_json::Value {
     })
 }
 
+/// Snapshot capture cost: the N=256 cell with and without one mid-run
+/// [`ClusterRunner::snapshot_at`] capture, best-of-`reps` wall clock
+/// each. Capture serializes every engine and the full scheduler at a
+/// single barrier, so the target is small: < 5% of the run.
+fn snapshot_overhead(quick: bool) -> serde_json::Value {
+    let n = 256;
+    let ctx = crate::cluster::context(0xC1);
+    let mut cfg = crate::cluster::cell_config(n, 0xC1);
+    cfg.duration_s = if quick { 60 } else { 120 };
+    let epochs = cfg.duration_s * 1000 / cfg.controller_period_ms.max(100);
+    let capture_epoch = (epochs / 2).max(1) as u32;
+    let reps = 2;
+    // Warm-up run (first touch pays page faults and lazy init).
+    let _ = run_cluster(&ctx, &ControllerChoice::Rhythm, &cfg);
+    let mut plain = f64::INFINITY;
+    let mut capture = f64::INFINITY;
+    let mut snapshot_bytes = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let _ = run_cluster(&ctx, &ControllerChoice::Rhythm, &cfg);
+        plain = plain.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        let run = ClusterRunner::new(&ctx, &ControllerChoice::Rhythm, &cfg)
+            .snapshot_at(capture_epoch)
+            .run();
+        capture = capture.min(start.elapsed().as_secs_f64() * 1e3);
+        snapshot_bytes = run.snapshots[0].1.to_bytes().len();
+    }
+    let overhead_frac = capture / plain - 1.0;
+    println!(
+        "snapshot overhead N={n}: plain {plain:.1} ms, with capture {capture:.1} ms \
+         ({:+.2}%), snapshot {snapshot_bytes} bytes at epoch {capture_epoch}",
+        overhead_frac * 100.0
+    );
+    serde_json::json!({
+        "machines": n,
+        "duration_s": cfg.duration_s,
+        "capture_epoch": capture_epoch,
+        "reps": reps,
+        "wall_ms_plain": plain,
+        "wall_ms_with_capture": capture,
+        "overhead_frac": overhead_frac,
+        "snapshot_bytes": snapshot_bytes,
+    })
+}
+
 /// Runs both grids and writes the JSON report. Returns the path.
 pub fn run(quick: bool) -> std::io::Result<PathBuf> {
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -187,6 +237,7 @@ pub fn run(quick: bool) -> std::io::Result<PathBuf> {
     }
     let sweep = thread_sweep(quick, host_cpus);
     let grid = scaling_grid(quick);
+    let snapshot = snapshot_overhead(quick);
 
     let report = serde_json::json!({
         "schema": "rhythm-cluster-bench/v2",
@@ -194,6 +245,7 @@ pub fn run(quick: bool) -> std::io::Result<PathBuf> {
         "host_cpus": host_cpus,
         "thread_sweep": sweep,
         "scaling_grid": grid,
+        "snapshot_overhead": snapshot,
     });
     let dir = std::env::var("RHYTHM_BENCH_DIR")
         .map(PathBuf::from)

@@ -41,6 +41,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod lint;
 pub mod report;
+pub mod snapshotcli;
 pub mod tab1;
 pub mod trace;
 

@@ -1,0 +1,186 @@
+//! Durable cluster state from the CLI: `repro snapshot`, `repro resume`
+//! and `repro snapshot-diff`.
+//!
+//! ```text
+//! repro snapshot [--machines N] [--epoch E] [--seed S] [--duration S]
+//!                [--out FILE]       # capture the standard cluster cell
+//! repro resume FILE [--threads T]   # continue a capture to the horizon
+//! repro snapshot-diff A B           # structural post-mortem diff
+//! ```
+//!
+//! `snapshot` runs the same cell as `repro cluster` ([`crate::cluster`]'s
+//! e-commerce context and config) under Rhythm, captures at the requested
+//! epoch barrier, and writes the versioned binary to `FILE` (default
+//! `results/snapshot_n<N>.bin`). `resume` rebuilds the cell from the
+//! snapshot's own metadata (machines, seed, horizon, epoch length are all
+//! embedded), so the only inputs it needs are the file and, optionally, a
+//! worker-thread count — the continuation is bit-identical regardless.
+
+use rhythm_cluster::{ClusterRunner, ClusterSnapshot};
+use rhythm_core::experiment::ControllerChoice;
+use std::io;
+use std::path::PathBuf;
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// `--flag value` pairs pulled out of an argument list.
+type FlagPairs = Vec<(String, String)>;
+
+/// Parses `--flag value` pairs and positionals out of `args`.
+fn parse(args: &[String], flags: &[&str]) -> io::Result<(Vec<String>, FlagPairs)> {
+    let mut positional = Vec::new();
+    let mut pairs = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if !flags.contains(&name) {
+                return Err(invalid(format!("unknown flag --{name}")));
+            }
+            let v = it
+                .next()
+                .ok_or_else(|| invalid(format!("--{name} needs a value")))?;
+            pairs.push((name.to_string(), v.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, pairs))
+}
+
+fn flag<T: std::str::FromStr>(
+    pairs: &[(String, String)],
+    name: &str,
+    default: T,
+) -> io::Result<T> {
+    match pairs.iter().rev().find(|(n, _)| n == name) {
+        None => Ok(default),
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| invalid(format!("--{name}: cannot parse {v:?}"))),
+    }
+}
+
+fn results_dir() -> PathBuf {
+    std::env::var("RHYTHM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// The standard cell for `snap`'s metadata: config fields that shape
+/// state (machines, seed, horizon, epoch length) come from the snapshot
+/// itself; everything else is [`crate::cluster::cell_config`].
+fn cell_for(snap: &ClusterSnapshot, threads: usize) -> rhythm_cluster::ClusterConfig {
+    let mut cfg = crate::cluster::cell_config(snap.machines as usize, snap.seed);
+    cfg.duration_s = snap.duration_s;
+    cfg.controller_period_ms = snap.controller_period_ms;
+    cfg.threads = threads;
+    cfg
+}
+
+fn outcome_line(m: &rhythm_cluster::ClusterMetrics) -> String {
+    format!(
+        "EMU {:.3}  LC {:.3}  BE {:.3}  jobs {}/{}  requeues {}  kills {}",
+        m.emu,
+        m.lc_throughput,
+        m.be_throughput,
+        m.jobs.completed,
+        m.jobs.submitted,
+        m.requeues,
+        m.jobs.kills,
+    )
+}
+
+/// `repro snapshot`: run the standard cell, capture, write the file.
+pub fn snapshot(args: &[String]) -> io::Result<()> {
+    let (pos, pairs) = parse(args, &["machines", "epoch", "seed", "duration", "out"])?;
+    if !pos.is_empty() {
+        return Err(invalid(format!("unexpected argument {:?}", pos[0])));
+    }
+    let machines: usize = flag(&pairs, "machines", 64)?;
+    let epoch: u32 = flag(&pairs, "epoch", 5)?;
+    let seed: u64 = flag(&pairs, "seed", 0xC1)?;
+    let duration: u64 = flag(&pairs, "duration", 300)?;
+    let out: String = flag(
+        &pairs,
+        "out",
+        results_dir()
+            .join(format!("snapshot_n{machines}.bin"))
+            .to_string_lossy()
+            .into_owned(),
+    )?;
+    if epoch == 0 {
+        return Err(invalid("--epoch must be at least 1".into()));
+    }
+
+    let ctx = crate::cluster::context(seed);
+    let mut cfg = crate::cluster::cell_config(machines, seed);
+    cfg.duration_s = duration;
+    eprintln!(
+        "[snapshot] running N={machines} seed={seed:#x} for {duration}s, capturing at epoch {epoch}"
+    );
+    let run = ClusterRunner::new(&ctx, &ControllerChoice::Rhythm, &cfg)
+        .snapshot_at(epoch)
+        .run();
+    let snap = run
+        .snapshots
+        .first()
+        .map(|(_, s)| s)
+        .ok_or_else(|| invalid(format!("epoch {epoch} is past the end of the {duration}s run")))?;
+    let bytes = snap.to_bytes();
+    if let Some(parent) = PathBuf::from(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out, &bytes)?;
+    println!(
+        "snapshot: epoch {epoch} (t={}s)  {} bytes  fingerprint {:#018x}  -> {out}",
+        snap.t_ns / 1_000_000_000,
+        bytes.len(),
+        snap.fingerprint(),
+    );
+    println!("run:      {}", outcome_line(&run.outcome.metrics));
+    Ok(())
+}
+
+/// `repro resume`: continue a captured cell to the end of its horizon.
+pub fn resume(args: &[String]) -> io::Result<()> {
+    let (pos, pairs) = parse(args, &["threads"])?;
+    let [path] = pos.as_slice() else {
+        return Err(invalid("usage: repro resume FILE [--threads T]".into()));
+    };
+    let threads: usize = flag(&pairs, "threads", 8)?;
+    let bytes = std::fs::read(path)?;
+    let snap = ClusterSnapshot::from_bytes(&bytes).map_err(|e| invalid(e.to_string()))?;
+    let ctx = crate::cluster::context(snap.seed);
+    let cfg = cell_for(&snap, threads);
+    eprintln!(
+        "[resume] {path}: N={} epoch {} (t={}s), continuing to {}s on {threads} threads",
+        snap.machines,
+        snap.epoch,
+        snap.t_ns / 1_000_000_000,
+        snap.duration_s,
+    );
+    let run = ClusterRunner::resume(&snap, &ctx, &ControllerChoice::Rhythm, &cfg)
+        .map_err(|e| invalid(e.to_string()))?
+        .run();
+    println!("resumed:  {}", outcome_line(&run.outcome.metrics));
+    Ok(())
+}
+
+/// `repro snapshot-diff`: render the structural diff of two captures.
+pub fn diff(args: &[String]) -> io::Result<()> {
+    let (pos, _) = parse(args, &[])?;
+    let [a, b] = pos.as_slice() else {
+        return Err(invalid("usage: repro snapshot-diff A B".into()));
+    };
+    let read = |p: &String| -> io::Result<ClusterSnapshot> {
+        ClusterSnapshot::from_bytes(&std::fs::read(p)?)
+            .map_err(|e| invalid(format!("{p}: {e}")))
+    };
+    let (sa, sb) = (read(a)?, read(b)?);
+    print!("{}", sa.diff(&sb).render());
+    Ok(())
+}

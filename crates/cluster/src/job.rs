@@ -10,6 +10,9 @@
 //! *wasted work* (progress thrown away by kills) measurable outcomes of a
 //! placement policy.
 
+// lint:snapshot-state — ClusterJob / JobState are durable snapshot
+// state (rule S01: no hash containers or raw-pointer fields).
+
 use rhythm_workloads::BeSpec;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -130,6 +133,78 @@ impl ClusterJob {
     /// unfinished).
     pub fn completion_time_s(&self) -> Option<f64> {
         self.completed_s.map(|t| t - self.submitted_s)
+    }
+}
+
+impl rhythm_snapshot::Snapshot for JobState {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        match self {
+            JobState::Queued => w.u8(0),
+            JobState::Offered(g) => {
+                w.u8(1);
+                w.u64(*g as u64);
+            }
+            JobState::Running(g) => {
+                w.u8(2);
+                w.u64(*g as u64);
+            }
+            JobState::Done => w.u8(3),
+        }
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(match r.u8()? {
+            0 => JobState::Queued,
+            1 => JobState::Offered(r.u64()? as usize),
+            2 => JobState::Running(r.u64()? as usize),
+            3 => JobState::Done,
+            t => {
+                return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                    "unknown job state tag {t}"
+                )))
+            }
+        })
+    }
+}
+
+impl rhythm_snapshot::Snapshot for ClusterJob {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u64(self.id);
+        self.spec.as_ref().encode(w);
+        w.f64(self.checkpoint);
+        w.f64(self.wasted);
+        w.u32(self.kills);
+        w.f64(self.submitted_s);
+        self.completed_s.encode(w);
+        self.state.encode(w);
+        w.u8(self.priority);
+        self.deadline_s.encode(w);
+        self.gang.encode(w);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let id = r.u64()?;
+        let spec = Arc::new(rhythm_snapshot::Snapshot::decode(r)?);
+        let checkpoint = r.f64()?;
+        let wasted = r.f64()?;
+        if !(0.0..=1.0).contains(&checkpoint) || wasted.is_nan() || wasted < 0.0 {
+            return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                "job {id} progress out of range: checkpoint {checkpoint}, wasted {wasted}"
+            )));
+        }
+        Ok(ClusterJob {
+            id,
+            spec,
+            checkpoint,
+            wasted,
+            kills: r.u32()?,
+            submitted_s: r.f64()?,
+            completed_s: rhythm_snapshot::Snapshot::decode(r)?,
+            state: rhythm_snapshot::Snapshot::decode(r)?,
+            priority: r.u8()?,
+            deadline_s: rhythm_snapshot::Snapshot::decode(r)?,
+            gang: rhythm_snapshot::Snapshot::decode(r)?,
+        })
     }
 }
 
@@ -337,6 +412,41 @@ mod tests {
         assert_eq!(js.deadline_s, Some(120.0));
         assert_eq!(js.gang, 3);
         assert_eq!(JobSpec::solitary(BeSpec::of(BeKind::Wordcount)).with_gang(0).gang, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_job_lifecycle() {
+        use rhythm_snapshot::{Reader, Snapshot, SnapshotError, Writer};
+        let mut j = ClusterJob::new(5, Arc::new(BeSpec::of(BeKind::Lstm)), 12.0);
+        j.priority = 2;
+        j.deadline_s = Some(90.0);
+        j.gang = Some(1);
+        j.state = JobState::Running(7);
+        j.on_kill(0.34, 0.10);
+        let enc = |j: &ClusterJob| {
+            let mut w = Writer::new();
+            j.encode(&mut w);
+            w.into_bytes()
+        };
+        let bytes = enc(&j);
+        let back = ClusterJob::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(enc(&back), bytes);
+        assert_eq!(back.id, 5);
+        assert_eq!(back.spec.name, j.spec.name);
+        assert_eq!(back.state, JobState::Queued, "kill requeued it");
+        assert_eq!(back.kills, 1);
+        assert!((back.checkpoint - j.checkpoint).abs() < 1e-15);
+        // A checkpoint past 1.0 is structurally impossible state.
+        let mut w = Writer::new();
+        j.encode(&mut w);
+        let mut bad = w.into_bytes();
+        // Rewind over the fixed-size tail (wasted 8 + kills 4 +
+        // submitted 8 + completed-None 1 + state-Queued 1 + priority 1 +
+        // deadline-Some 9 + gang-Some 5 = 37) to the checkpoint field.
+        let ckpt_at = bad.len() - 37 - 8;
+        bad[ckpt_at..ckpt_at + 8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        let err = ClusterJob::decode(&mut Reader::new(&bad));
+        assert!(matches!(err.err(), Some(SnapshotError::Corrupt(_))));
     }
 
     #[test]

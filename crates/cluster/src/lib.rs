@@ -23,7 +23,10 @@
 //!   bookkeeping happens single-threaded at the barrier, and results are
 //!   bit-identical for any worker-thread count;
 //! * [`metrics`] — merged cluster-wide EMU / utilization plus job
-//!   completion-time and wasted-work statistics.
+//!   completion-time and wasted-work statistics;
+//! * [`snapshot`] — durable cluster state: [`ClusterSnapshot`] captured
+//!   at epoch barriers, bit-identical resume via
+//!   [`ClusterRunner::resume`], and structural snapshot diffs.
 // The workspace is unsafe-free; lock that in at the crate root. If a
 // crate ever genuinely needs `unsafe`, downgrade its forbid to
 // `#![deny(unsafe_op_in_unsafe_fn)]` and justify every block with a
@@ -35,7 +38,27 @@ pub mod metrics;
 pub mod placement;
 pub mod queue;
 pub mod runner;
+pub mod snapshot;
 pub mod state;
+
+/// Snapshot layout contract for this crate's [`rhythm_snapshot::Snapshot`]
+/// impls and the [`snapshot::ClusterSnapshot`] container. Bump on any
+/// wire-format change: the hash of this string is embedded in every
+/// snapshot file and checked on resume, so stale readers fail with
+/// [`rhythm_snapshot::SnapshotError::Incompatible`] instead of decoding
+/// garbage.
+pub const SNAPSHOT_SCHEMA: &str = "rhythm-cluster/v1: \
+     SeqSource{next_back:i64,next_front:i64}; \
+     JobMeta{priority:u8,deadline_s:Option<f64>,enqueued_s:f64,key:Option<(u8,u64,i64,u64)>}; \
+     JobQueue{meta:Vec<JobMeta>,next_back:i64,next_front:i64,requeues:u64,aging_s:Option<f64>}; \
+     JobState{tag:u8,machine:u64?}; \
+     ClusterJob{id:u64,spec:BeSpec,checkpoint:f64,wasted:f64,kills:u32,submitted_s:f64,\
+     completed_s:Option<f64>,state:JobState,priority:u8,deadline_s:Option<f64>,gang:Option<u32>}; \
+     GangState{members:Vec<u64>,patience_left:u32,forming:bool}; \
+     ShardState{queue:JobQueue,offered:Vec<Option<u64>>,bindings:BTreeMap<(u64,u64),u64>}; \
+     SchedulerState{jobs,shards,seq,rr_cursor:u64,gangs,events,steals:u64,fast_path_epochs:u64}; \
+     ClusterSnapshot{meta:{epoch:u32,t_ns,machines,pods,replicas,shards,seed,duration_s,\
+     controller_period_ms:u64,managed:bool},sections:[meta,scheduler,engines,summaries,tail]}";
 
 pub use job::{ClusterJob, JobId, JobSpec, JobState, JobStats};
 pub use metrics::{
@@ -43,5 +66,8 @@ pub use metrics::{
 };
 pub use placement::{CandidateMachine, PlacementPolicy, Placer};
 pub use queue::{JobQueue, QueueKey, SeqSource};
-pub use runner::{compare_cluster, run_cluster};
+pub use runner::{compare_cluster, run_cluster, ClusterRun, ClusterRunner};
+pub use snapshot::{
+    expected_schemas, ClusterSnapshot, GangState, SchedulerState, ShardState, SnapshotDiff,
+};
 pub use state::{global_index, machine_ref, replica_seed, ClusterConfig, MachineRef, ShardMap};

@@ -69,6 +69,7 @@ use crate::metrics::{
 };
 use crate::placement::{PlacementPolicy, Placer};
 use crate::queue::{JobQueue, SeqSource};
+use crate::snapshot::{ClusterSnapshot, GangState, SchedulerState, ShardState};
 use crate::state::{global_index, machine_ref, replica_seed, ClusterConfig, ShardMap};
 use crossbeam::queue::SegQueue;
 use rhythm_controller::BeAction;
@@ -77,6 +78,7 @@ use rhythm_core::metrics::RunMetrics;
 use rhythm_core::runtime::Engine;
 use rhythm_machine::machine::BeInstanceId;
 use rhythm_sim::{LatencyHistogram, SimDuration, SimTime};
+use rhythm_snapshot::{Reader, SnapshotError, Writer};
 use rhythm_telemetry::{ClusterEvent, ClusterEventKind, TailPoint};
 use rhythm_workloads::BeSpec;
 use std::collections::{BTreeMap, BTreeSet};
@@ -711,6 +713,159 @@ impl<'c> Scheduler<'c> {
     fn requeues(&self) -> u64 {
         self.shards.iter().map(|s| s.queue.requeue_count()).sum()
     }
+
+    /// Exports the scheduler's dynamic state. Caches (`caps`, rankings,
+    /// pass scratch) are excluded: they are pure functions of machine
+    /// state and are rebuilt at the start of the next dispatch pass.
+    fn export_state(&self) -> SchedulerState {
+        SchedulerState {
+            jobs: self.jobs.clone(),
+            shards: self
+                .shards
+                .iter()
+                .map(|sh| ShardState {
+                    queue: sh.queue.clone(),
+                    offered: sh.offered.clone(),
+                    bindings: sh
+                        .bindings
+                        .iter()
+                        .map(|(&(g, inst), &jid)| ((g as u64, inst), jid))
+                        .collect(),
+                })
+                .collect(),
+            seq: self.seq,
+            rr_cursor: self.placer.cursor() as u64,
+            gangs: self
+                .gangs
+                .iter()
+                .map(|(&gid, t)| {
+                    let gs = GangState {
+                        members: t.members.clone(),
+                        patience_left: t.patience_left,
+                        forming: t.forming,
+                    };
+                    (gid, gs)
+                })
+                .collect(),
+            events: self.events.clone(),
+            steals: self.steals,
+            fast_path_epochs: self.fast_path_epochs,
+        }
+    }
+
+    /// Replays captured dynamic state into a freshly built scheduler.
+    /// The plan-derived structure (job ledger shape, shard layout, gang
+    /// roster) must match what `Scheduler::new` built from the config;
+    /// state that contradicts it is refused rather than applied.
+    fn restore_state(&mut self, st: &SchedulerState) -> Result<(), SnapshotError> {
+        if st.jobs.len() != self.jobs.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot ledgers {} jobs, the config's plan produces {}",
+                st.jobs.len(),
+                self.jobs.len()
+            )));
+        }
+        for (snap, plan) in st.jobs.iter().zip(&self.jobs) {
+            if snap.spec.name != plan.spec.name || snap.gang != plan.gang {
+                return Err(SnapshotError::Corrupt(format!(
+                    "job {} is {:?} (gang {:?}) in the snapshot but {:?} (gang {:?}) in the plan",
+                    plan.id, snap.spec.name, snap.gang, plan.spec.name, plan.gang
+                )));
+            }
+        }
+        if st.shards.len() != self.shards.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot carries {} shard states, the runner built {}",
+                st.shards.len(),
+                self.shards.len()
+            )));
+        }
+        let gangs_match = st.gangs.len() == self.gangs.len()
+            && st
+                .gangs
+                .iter()
+                .zip(&self.gangs)
+                .all(|((ga, a), (gb, b))| ga == gb && a.members == b.members);
+        if !gangs_match {
+            return Err(SnapshotError::Corrupt(
+                "snapshot gang roster differs from the config's job plan".into(),
+            ));
+        }
+        for (si, (sh, shs)) in self.shards.iter_mut().zip(&st.shards).enumerate() {
+            if shs.offered.len() != sh.offered.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "shard {si} offers cover {} machines, its layout has {}",
+                    shs.offered.len(),
+                    sh.offered.len()
+                )));
+            }
+            for &(g, _inst) in shs.bindings.keys() {
+                if !sh.globals.contains(&(g as usize)) {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "shard {si} binds machine {g}, outside its global range"
+                    )));
+                }
+            }
+        }
+        for (sh, shs) in self.shards.iter_mut().zip(&st.shards) {
+            sh.queue = shs.queue.clone();
+            sh.offered = shs.offered.clone();
+            sh.bindings = shs
+                .bindings
+                .iter()
+                .map(|(&(g, inst), &jid)| ((g as usize, inst), jid))
+                .collect();
+        }
+        self.jobs = st.jobs.clone();
+        self.seq = st.seq;
+        self.placer.set_cursor(st.rr_cursor as usize);
+        for (gid, gs) in &st.gangs {
+            let t = self.gangs.get_mut(gid).expect("gang roster verified above");
+            t.patience_left = gs.patience_left;
+            t.forming = gs.forming;
+        }
+        self.events = st.events.clone();
+        self.steals = st.steals;
+        self.fast_path_epochs = st.fast_path_epochs;
+        Ok(())
+    }
+
+    /// Captures a full cluster snapshot at the epoch barrier: `epoch`
+    /// epochs are complete, every engine is quiescent at virtual time
+    /// `now` (the merge has run and all guards are held), and the next
+    /// dispatch pass has not started.
+    fn capture(
+        &self,
+        engines: &[MutexGuard<'_, Engine>],
+        epoch: u32,
+        now: SimTime,
+        cluster_tail: &[TailPoint],
+        managed: bool,
+    ) -> ClusterSnapshot {
+        ClusterSnapshot {
+            epoch,
+            t_ns: now.as_nanos(),
+            machines: self.cfg.machines as u64,
+            pods: self.pods as u64,
+            replicas: engines.len() as u64,
+            shards: self.map.count() as u64,
+            seed: self.cfg.seed,
+            duration_s: self.cfg.duration_s,
+            controller_period_ms: self.cfg.controller_period_ms,
+            managed,
+            scheduler: self.export_state(),
+            engines: engines
+                .iter()
+                .map(|e| {
+                    let mut w = Writer::new();
+                    e.snapshot_encode(&mut w);
+                    w.into_bytes()
+                })
+                .collect(),
+            summaries: engines.iter().map(|e| e.snapshot_summary()).collect(),
+            cluster_tail: cluster_tail.to_vec(),
+        }
+    }
 }
 
 /// The global argmin over every shard's cached ranking for `spec`, with
@@ -802,9 +957,411 @@ fn pick_scored(
     best.map(|(_, g)| g)
 }
 
+/// One [`ClusterRunner`] run: the experiment outcome plus every
+/// snapshot captured at the epoch barriers requested via
+/// [`ClusterRunner::snapshot_at`].
+pub struct ClusterRun {
+    /// The experiment result, identical to what [`run_cluster`] returns.
+    pub outcome: ClusterOutcome,
+    /// Captured `(epoch, snapshot)` pairs in ascending epoch order.
+    pub snapshots: Vec<(u32, ClusterSnapshot)>,
+}
+
+/// State rebuilt from a [`ClusterSnapshot`] by [`ClusterRunner::resume`],
+/// validated eagerly so [`ClusterRunner::run`] stays infallible.
+struct ResumeState {
+    epoch: u32,
+    t_ns: u64,
+    engines: Vec<Engine>,
+    scheduler: SchedulerState,
+    cluster_tail: Vec<TailPoint>,
+}
+
+/// A configurable cluster run: [`run_cluster`] plus snapshot capture at
+/// chosen epoch barriers and resume from a captured snapshot.
+///
+/// Captures happen at the single-threaded epoch barrier — after the
+/// merge, before the next dispatch — where every engine is quiescent, so
+/// the snapshot is exact, not racy. Resuming a snapshot continues the
+/// run **bit-identically** to one that never stopped, for any shard
+/// count and any worker-thread count.
+pub struct ClusterRunner<'a> {
+    ctx: &'a ServiceContext,
+    choice: &'a ControllerChoice,
+    cfg: &'a ClusterConfig,
+    capture_at: BTreeSet<u32>,
+    resume: Option<ResumeState>,
+}
+
+impl<'a> ClusterRunner<'a> {
+    /// Prepares a fresh run of `cfg.machines` machines under `choice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.machines` is not a positive multiple of the
+    /// service's Servpod count, or if `cfg.machine_specs` is non-empty
+    /// but does not hold exactly one spec per machine.
+    pub fn new(
+        ctx: &'a ServiceContext,
+        choice: &'a ControllerChoice,
+        cfg: &'a ClusterConfig,
+    ) -> ClusterRunner<'a> {
+        let pods = ctx.service.len();
+        assert!(
+            cfg.machines >= pods && cfg.machines.is_multiple_of(pods),
+            "cluster size {} must be a positive multiple of the service's {pods} Servpods",
+            cfg.machines
+        );
+        assert!(
+            cfg.machine_specs.is_empty() || cfg.machine_specs.len() == cfg.machines,
+            "machine_specs holds {} specs for {} machines",
+            cfg.machine_specs.len(),
+            cfg.machines
+        );
+        ClusterRunner {
+            ctx,
+            choice,
+            cfg,
+            capture_at: BTreeSet::new(),
+            resume: None,
+        }
+    }
+
+    /// Requests a snapshot at the barrier where `epoch` epochs have
+    /// completed (virtual time `epoch × controller period`). Epoch 0 is
+    /// the initial state and is not a barrier; requests past the end of
+    /// the run never fire. May be called repeatedly for multiple capture
+    /// points.
+    pub fn snapshot_at(mut self, epoch: u32) -> ClusterRunner<'a> {
+        if epoch > 0 {
+            self.capture_at.insert(epoch);
+        }
+        self
+    }
+
+    /// Prepares a run that continues `snapshot` to the end of the
+    /// horizon. `ctx`, `choice` and `cfg` must describe the same
+    /// experiment that produced the snapshot — everything that shapes
+    /// state (machines, seed, horizon, epoch length, job plan) is
+    /// checked, and a mismatch is refused with
+    /// [`SnapshotError::Incompatible`]. `cfg.threads` is free to differ:
+    /// determinism does not depend on the worker count.
+    ///
+    /// All decoding and validation happens here, so the returned
+    /// runner's [`run`](ClusterRunner::run) cannot fail.
+    pub fn resume(
+        snapshot: &ClusterSnapshot,
+        ctx: &'a ServiceContext,
+        choice: &'a ControllerChoice,
+        cfg: &'a ClusterConfig,
+    ) -> Result<ClusterRunner<'a>, SnapshotError> {
+        let runner = ClusterRunner::new(ctx, choice, cfg);
+        let pods = ctx.service.len();
+        let replicas = cfg.machines / pods;
+        let managed = !matches!(choice, ControllerChoice::Solo);
+        let map = ShardMap::new(replicas, pods, cfg.shards);
+        let expect = [
+            ("machines", cfg.machines as u64, snapshot.machines),
+            ("pods", pods as u64, snapshot.pods),
+            ("replicas", replicas as u64, snapshot.replicas),
+            ("shards", map.count() as u64, snapshot.shards),
+            ("seed", cfg.seed, snapshot.seed),
+            ("duration_s", cfg.duration_s, snapshot.duration_s),
+            (
+                "controller_period_ms",
+                cfg.controller_period_ms,
+                snapshot.controller_period_ms,
+            ),
+            ("managed", u64::from(managed), u64::from(snapshot.managed)),
+        ];
+        for (name, want, got) in expect {
+            if want != got {
+                return Err(SnapshotError::Incompatible {
+                    expected: format!("{name}={want}"),
+                    found: format!("{name}={got}"),
+                });
+            }
+        }
+        let horizon_epochs = {
+            let epoch_ms = cfg.controller_period_ms.max(100);
+            cfg.duration_s * 1000 / epoch_ms
+        };
+        if u64::from(snapshot.epoch) > horizon_epochs {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot taken at epoch {} but the horizon only holds {horizon_epochs}",
+                snapshot.epoch
+            )));
+        }
+        let engines = runner.build_engines(Some(snapshot))?;
+        // Validate the scheduler state against the plan-derived shape by
+        // restoring it into a throwaway scheduler now; `run` re-applies
+        // it knowing it cannot fail.
+        Scheduler::new(cfg, pods, map, managed).restore_state(&snapshot.scheduler)?;
+        Ok(ClusterRunner {
+            resume: Some(ResumeState {
+                epoch: snapshot.epoch,
+                t_ns: snapshot.t_ns,
+                engines,
+                scheduler: snapshot.scheduler.clone(),
+                cluster_tail: snapshot.cluster_tail.clone(),
+            }),
+            ..runner
+        })
+    }
+
+    /// Builds one engine per replica — fresh when `from` is `None`,
+    /// restored from the snapshot's byte streams otherwise. The engine
+    /// config is derived from `cfg` exactly as a fresh run derives it,
+    /// so a restored engine validates against the same deployment.
+    fn build_engines(&self, from: Option<&ClusterSnapshot>) -> Result<Vec<Engine>, SnapshotError> {
+        let ctx = self.ctx;
+        let cfg = self.cfg;
+        let pods = ctx.service.len();
+        let replicas = cfg.machines / pods;
+        let managed = !matches!(self.choice, ControllerChoice::Solo);
+        if let Some(s) = from {
+            if s.engines.len() != replicas {
+                return Err(SnapshotError::Corrupt(format!(
+                    "snapshot holds {} engine streams for {replicas} replicas",
+                    s.engines.len()
+                )));
+            }
+        }
+        let expt = ExperimentConfig {
+            bes: cfg.be_mix.clone(),
+            load: cfg.load.clone(),
+            duration_s: cfg.duration_s,
+            seed: cfg.seed,
+            record_timeline: false,
+            controller_period_ms: cfg.controller_period_ms,
+        };
+        (0..replicas)
+            .map(|r| {
+                let mut ec = ctx.engine_config(self.choice, &expt);
+                ec.seed = replica_seed(cfg.seed, r);
+                ec.external_be = managed;
+                ec.telemetry = cfg.telemetry;
+                ec.growth.priority_preemption = cfg.priority_preemption;
+                if !cfg.machine_specs.is_empty() {
+                    // This replica's slice of the per-machine hardware.
+                    ec.machine_specs = cfg.machine_specs[r * pods..(r + 1) * pods].to_vec();
+                }
+                match from {
+                    None => Ok(Engine::new(Arc::clone(&ctx.service), ec)),
+                    Some(s) => {
+                        let mut rd = Reader::new(&s.engines[r]);
+                        let e = Engine::snapshot_restore(Arc::clone(&ctx.service), ec, &mut rd)?;
+                        if !rd.is_empty() {
+                            return Err(SnapshotError::Corrupt(format!(
+                                "replica {r} engine stream has {} trailing bytes",
+                                rd.remaining()
+                            )));
+                        }
+                        Ok(e)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the experiment (fresh or resumed) to the end of the horizon.
+    pub fn run(mut self) -> ClusterRun {
+        let ctx = self.ctx;
+        let cfg = self.cfg;
+        let pods = ctx.service.len();
+        let replicas = cfg.machines / pods;
+        let managed = !matches!(self.choice, ControllerChoice::Solo);
+
+        let (engines, start_epoch, start_t, tail0, resume_sched) = match self.resume.take() {
+            Some(rs) => (
+                rs.engines,
+                rs.epoch,
+                SimTime::from_nanos(rs.t_ns),
+                rs.cluster_tail,
+                Some(rs.scheduler),
+            ),
+            None => (
+                self.build_engines(None)
+                    .expect("fresh engine construction is infallible"),
+                0,
+                SimTime::ZERO,
+                Vec::new(),
+                None,
+            ),
+        };
+
+        let map = ShardMap::new(replicas, pods, cfg.shards);
+        let mut sched = Scheduler::new(cfg, pods, map, managed);
+        if let Some(st) = &resume_sched {
+            sched
+                .restore_state(st)
+                .expect("scheduler state validated by resume()");
+        }
+
+        let epoch = SimDuration::from_millis(cfg.controller_period_ms.max(100));
+        let end = SimTime::ZERO + SimDuration::from_secs(cfg.duration_s);
+        let capture_at = &self.capture_at;
+        let mut snapshots: Vec<(u32, ClusterSnapshot)> = Vec::new();
+
+        // The worker pool persists across the whole run: an epoch is only
+        // microseconds of engine work, so spawning threads per epoch (or
+        // parking them in the kernel at each boundary) would dominate the
+        // run. Workers wait at a spin barrier; the main thread opens each
+        // epoch by publishing the target time and filling the task queue,
+        // helps drain it, and does the single-threaded merge while the
+        // workers spin at the next barrier. Whoever ran an engine also
+        // syncs its BE progress to the boundary — engine-local work that
+        // used to serialize inside the merge.
+        let workers = cfg.threads.max(1).min(engines.len());
+        let mut cluster_tail: Vec<TailPoint> = tail0;
+        let slots: Vec<Mutex<Engine>> = engines.into_iter().map(Mutex::new).collect();
+        let barrier = SpinBarrier::new(workers);
+        let tasks: SegQueue<usize> = SegQueue::new();
+        let until = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+
+        let advance = |i: usize, target: SimTime| {
+            let mut engine = slots[i].lock().expect("engine slot poisoned");
+            engine.run_until(target);
+            if target != SimTime::MAX {
+                // The final drain has no merge after it: nothing reads BE
+                // progress past `end`, so only epoch boundaries sync.
+                engine.sync_be_progress(target);
+            }
+        };
+
+        crossbeam::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(|_| loop {
+                    barrier.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let target = SimTime::from_nanos(until.load(Ordering::Acquire));
+                    while let Some(i) = tasks.pop() {
+                        advance(i, target);
+                    }
+                    barrier.wait();
+                });
+            }
+
+            // Advances every engine to `target` on the pool. Each engine
+            // is popped by exactly one worker and engines share no state,
+            // so pop order cannot affect results.
+            let run_to = |target: SimTime| {
+                until.store(target.as_nanos(), Ordering::Release);
+                for i in 0..slots.len() {
+                    tasks.push(i);
+                }
+                barrier.wait();
+                while let Some(i) = tasks.pop() {
+                    advance(i, target);
+                }
+                barrier.wait();
+            };
+
+            let mut t = start_t;
+            let mut epoch_idx: u32 = start_epoch;
+            while t < end {
+                if managed {
+                    let mut guards: Vec<MutexGuard<'_, Engine>> =
+                        slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
+                    sched.dispatch(&mut guards, t.as_secs_f64());
+                }
+                let next = (t + epoch).min(end);
+                run_to(next);
+                let mut guards: Vec<MutexGuard<'_, Engine>> =
+                    slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
+                sched.merge(&mut guards, next);
+                // Telemetry at the barrier, always single-threaded and in
+                // fixed replica order: mark the epoch in every recorder,
+                // then merge the per-engine tail windows the controller
+                // tick just closed into one cluster-wide point.
+                // Independent of worker scheduling, so exports are
+                // bit-identical for any `threads`.
+                if cfg.telemetry.enabled {
+                    for g in guards.iter_mut() {
+                        g.note_epoch(epoch_idx, next);
+                    }
+                    // The engines' control tick does not fire at the very
+                    // end of the run (`next == end`): no new window closed
+                    // there.
+                    if cfg.telemetry.tail && next < end {
+                        let mut merged = LatencyHistogram::new();
+                        for g in guards.iter() {
+                            merged.merge(g.telemetry().tail.last_window());
+                        }
+                        cluster_tail.push(TailPoint::from_window(
+                            &merged,
+                            next.as_secs_f64(),
+                            ctx.sla_ms,
+                        ));
+                    }
+                }
+                // Snapshot at the barrier: `epoch_idx + 1` epochs are now
+                // complete, the merge and telemetry splice have run, and
+                // all engine guards are held — the exact state a resumed
+                // run re-enters the loop with.
+                if capture_at.contains(&(epoch_idx + 1)) {
+                    snapshots.push((
+                        epoch_idx + 1,
+                        sched.capture(&guards, epoch_idx + 1, next, &cluster_tail, managed),
+                    ));
+                }
+                drop(guards);
+                epoch_idx += 1;
+                t = next;
+            }
+            // Drain in-flight requests past the end of the run.
+            run_to(SimTime::MAX);
+            done.store(true, Ordering::Release);
+            barrier.wait();
+        })
+        .expect("cluster worker panicked");
+
+        let mut outputs: Vec<_> = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("engine slot poisoned"))
+            .map(Engine::finish_run)
+            .collect();
+        let per_replica: Vec<RunMetrics> = outputs.iter().map(RunMetrics::from_output).collect();
+        let fingerprints = machine_fingerprints(&outputs);
+        let metrics = ClusterMetrics::merge(
+            cfg.machines,
+            &outputs,
+            &per_replica,
+            &sched.jobs,
+            sched.requeues(),
+            cfg.duration_s as f64,
+        );
+        let telemetry = cfg.telemetry.enabled.then(|| ClusterTelemetry {
+            replicas: outputs
+                .iter_mut()
+                .map(|o| o.telemetry.take().unwrap_or_default())
+                .collect(),
+            cluster_tail,
+            cluster_events: std::mem::take(&mut sched.events),
+        });
+        let outcome = ClusterOutcome {
+            metrics,
+            sharding: ShardingReport {
+                shards: map.count(),
+                steals: sched.steals,
+                fast_path_epochs: sched.fast_path_epochs,
+            },
+            per_replica,
+            jobs: sched.jobs,
+            fingerprints,
+            telemetry,
+        };
+        ClusterRun { outcome, snapshots }
+    }
+}
+
 /// Runs one cluster experiment: `cfg.machines` machines under `choice`,
 /// with the shared BE backlog dispatched by `cfg.policy` across
-/// [`ClusterConfig::shards`] scheduler shards.
+/// [`ClusterConfig::shards`] scheduler shards. Equivalent to
+/// [`ClusterRunner::new`]`(..).run()` with no snapshots requested.
 ///
 /// # Panics
 ///
@@ -816,189 +1373,7 @@ pub fn run_cluster(
     choice: &ControllerChoice,
     cfg: &ClusterConfig,
 ) -> ClusterOutcome {
-    let pods = ctx.service.len();
-    assert!(
-        cfg.machines >= pods && cfg.machines.is_multiple_of(pods),
-        "cluster size {} must be a positive multiple of the service's {pods} Servpods",
-        cfg.machines
-    );
-    assert!(
-        cfg.machine_specs.is_empty() || cfg.machine_specs.len() == cfg.machines,
-        "machine_specs holds {} specs for {} machines",
-        cfg.machine_specs.len(),
-        cfg.machines
-    );
-    let replicas = cfg.machines / pods;
-    let managed = !matches!(choice, ControllerChoice::Solo);
-
-    let expt = ExperimentConfig {
-        bes: cfg.be_mix.clone(),
-        load: cfg.load.clone(),
-        duration_s: cfg.duration_s,
-        seed: cfg.seed,
-        record_timeline: false,
-        controller_period_ms: cfg.controller_period_ms,
-    };
-    let engines: Vec<Engine> = (0..replicas)
-        .map(|r| {
-            let mut ec = ctx.engine_config(choice, &expt);
-            ec.seed = replica_seed(cfg.seed, r);
-            ec.external_be = managed;
-            ec.telemetry = cfg.telemetry;
-            ec.growth.priority_preemption = cfg.priority_preemption;
-            if !cfg.machine_specs.is_empty() {
-                // This replica's slice of the per-machine hardware.
-                ec.machine_specs = cfg.machine_specs[r * pods..(r + 1) * pods].to_vec();
-            }
-            Engine::new(Arc::clone(&ctx.service), ec)
-        })
-        .collect();
-
-    let map = ShardMap::new(replicas, pods, cfg.shards);
-    let mut sched = Scheduler::new(cfg, pods, map, managed);
-
-    let epoch = SimDuration::from_millis(cfg.controller_period_ms.max(100));
-    let end = SimTime::ZERO + SimDuration::from_secs(cfg.duration_s);
-
-    // The worker pool persists across the whole run: an epoch is only
-    // microseconds of engine work, so spawning threads per epoch (or
-    // parking them in the kernel at each boundary) would dominate the
-    // run. Workers wait at a spin barrier; the main thread opens each
-    // epoch by publishing the target time and filling the task queue,
-    // helps drain it, and does the single-threaded merge while the
-    // workers spin at the next barrier. Whoever ran an engine also syncs
-    // its BE progress to the boundary — engine-local work that used to
-    // serialize inside the merge.
-    let workers = cfg.threads.max(1).min(engines.len());
-    let mut cluster_tail: Vec<TailPoint> = Vec::new();
-    let slots: Vec<Mutex<Engine>> = engines.into_iter().map(Mutex::new).collect();
-    let barrier = SpinBarrier::new(workers);
-    let tasks: SegQueue<usize> = SegQueue::new();
-    let until = AtomicU64::new(0);
-    let done = AtomicBool::new(false);
-
-    let advance = |i: usize, target: SimTime| {
-        let mut engine = slots[i].lock().expect("engine slot poisoned");
-        engine.run_until(target);
-        if target != SimTime::MAX {
-            // The final drain has no merge after it: nothing reads BE
-            // progress past `end`, so only epoch boundaries sync.
-            engine.sync_be_progress(target);
-        }
-    };
-
-    crossbeam::scope(|s| {
-        for _ in 1..workers {
-            s.spawn(|_| loop {
-                barrier.wait();
-                if done.load(Ordering::Acquire) {
-                    break;
-                }
-                let target = SimTime::from_nanos(until.load(Ordering::Acquire));
-                while let Some(i) = tasks.pop() {
-                    advance(i, target);
-                }
-                barrier.wait();
-            });
-        }
-
-        // Advances every engine to `target` on the pool. Each engine is
-        // popped by exactly one worker and engines share no state, so
-        // pop order cannot affect results.
-        let run_to = |target: SimTime| {
-            until.store(target.as_nanos(), Ordering::Release);
-            for i in 0..slots.len() {
-                tasks.push(i);
-            }
-            barrier.wait();
-            while let Some(i) = tasks.pop() {
-                advance(i, target);
-            }
-            barrier.wait();
-        };
-
-        let mut t = SimTime::ZERO;
-        let mut epoch_idx: u32 = 0;
-        while t < end {
-            if managed {
-                let mut guards: Vec<MutexGuard<'_, Engine>> =
-                    slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
-                sched.dispatch(&mut guards, t.as_secs_f64());
-            }
-            let next = (t + epoch).min(end);
-            run_to(next);
-            let mut guards: Vec<MutexGuard<'_, Engine>> =
-                slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
-            sched.merge(&mut guards, next);
-            // Telemetry at the barrier, always single-threaded and in
-            // fixed replica order: mark the epoch in every recorder, then
-            // merge the per-engine tail windows the controller tick just
-            // closed into one cluster-wide point. Independent of worker
-            // scheduling, so exports are bit-identical for any `threads`.
-            if cfg.telemetry.enabled {
-                for g in guards.iter_mut() {
-                    g.note_epoch(epoch_idx, next);
-                }
-                // The engines' control tick does not fire at the very end
-                // of the run (`next == end`): no new window closed there.
-                if cfg.telemetry.tail && next < end {
-                    let mut merged = LatencyHistogram::new();
-                    for g in guards.iter() {
-                        merged.merge(g.telemetry().tail.last_window());
-                    }
-                    cluster_tail.push(TailPoint::from_window(
-                        &merged,
-                        next.as_secs_f64(),
-                        ctx.sla_ms,
-                    ));
-                }
-            }
-            drop(guards);
-            epoch_idx += 1;
-            t = next;
-        }
-        // Drain in-flight requests past the end of the run.
-        run_to(SimTime::MAX);
-        done.store(true, Ordering::Release);
-        barrier.wait();
-    })
-    .expect("cluster worker panicked");
-
-    let mut outputs: Vec<_> = slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("engine slot poisoned"))
-        .map(Engine::finish_run)
-        .collect();
-    let per_replica: Vec<RunMetrics> = outputs.iter().map(RunMetrics::from_output).collect();
-    let fingerprints = machine_fingerprints(&outputs);
-    let metrics = ClusterMetrics::merge(
-        cfg.machines,
-        &outputs,
-        &per_replica,
-        &sched.jobs,
-        sched.requeues(),
-        cfg.duration_s as f64,
-    );
-    let telemetry = cfg.telemetry.enabled.then(|| ClusterTelemetry {
-        replicas: outputs
-            .iter_mut()
-            .map(|o| o.telemetry.take().unwrap_or_default())
-            .collect(),
-        cluster_tail,
-        cluster_events: std::mem::take(&mut sched.events),
-    });
-    ClusterOutcome {
-        metrics,
-        sharding: ShardingReport {
-            shards: map.count(),
-            steals: sched.steals,
-            fast_path_epochs: sched.fast_path_epochs,
-        },
-        per_replica,
-        jobs: sched.jobs,
-        fingerprints,
-        telemetry,
-    }
+    ClusterRunner::new(ctx, choice, cfg).run().outcome
 }
 
 /// Runs Rhythm and Heracles on the same cluster (same seeds, same
@@ -1158,5 +1533,107 @@ mod tests {
         assert_eq!(a.metrics.completed_requests, b.metrics.completed_requests);
         assert_eq!(a.metrics.jobs, b.metrics.jobs);
         assert_eq!(a.sharding.steals, 0, "K=1 cannot steal");
+    }
+
+    /// Every observable the outcome carries, compared bit-for-bit.
+    fn assert_outcomes_identical(a: &ClusterOutcome, b: &ClusterOutcome, what: &str) {
+        assert_eq!(a.fingerprints, b.fingerprints, "{what}: fingerprints");
+        assert_eq!(a.metrics.jobs, b.metrics.jobs, "{what}: job stats");
+        assert_eq!(a.metrics.requeues, b.metrics.requeues, "{what}: requeues");
+        assert_eq!(
+            a.metrics.completed_requests, b.metrics.completed_requests,
+            "{what}: completed requests"
+        );
+        assert_eq!(a.sharding.steals, b.sharding.steals, "{what}: steals");
+        match (&a.telemetry, &b.telemetry) {
+            (None, None) => {}
+            (Some(ta), Some(tb)) => {
+                assert_eq!(ta.export_jsonl(), tb.export_jsonl(), "{what}: jsonl export");
+                assert_eq!(ta.chrome_trace(), tb.chrome_trace(), "{what}: chrome trace");
+                assert_eq!(ta.why_report(), tb.why_report(), "{what}: why report");
+            }
+            _ => panic!("{what}: telemetry presence differs"),
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_straight_run() {
+        // The tentpole invariant in miniature: run 8 machines straight
+        // through with full telemetry, then snapshot the same experiment
+        // at epoch 10 and resume it — on a different worker count — and
+        // every observable (fingerprints, metrics, telemetry exports,
+        // spliced tail series) must match bit-for-bit.
+        let ctx = ctx();
+        let mut c = small_cfg();
+        c.machines = 8;
+        c.duration_s = 60;
+        c.telemetry = rhythm_telemetry::TelemetryConfig::full();
+        let straight = run_cluster(&ctx, &ControllerChoice::Rhythm, &c);
+
+        let run = ClusterRunner::new(&ctx, &ControllerChoice::Rhythm, &c)
+            .snapshot_at(10)
+            .run();
+        assert_outcomes_identical(&straight, &run.outcome, "capturing run");
+        assert_eq!(run.snapshots.len(), 1);
+        let (epoch, snap) = &run.snapshots[0];
+        assert_eq!(*epoch, 10);
+
+        // Round-trip the container through bytes before resuming, so the
+        // test covers the codec, not just the in-memory structures.
+        let bytes = snap.to_bytes();
+        let snap = ClusterSnapshot::from_bytes(&bytes).expect("snapshot bytes parse");
+        assert_eq!(snap.to_bytes(), bytes, "re-encode is byte-identical");
+        assert!(snap.diff(&snap).is_empty(), "self-diff reports no differences");
+
+        let mut c4 = c.clone();
+        c4.threads = 4;
+        let resumed = ClusterRunner::resume(&snap, &ctx, &ControllerChoice::Rhythm, &c4)
+            .expect("snapshot matches its own config")
+            .run();
+        assert_outcomes_identical(&straight, &resumed.outcome, "resumed run");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let ctx = ctx();
+        let c = small_cfg();
+        let run = ClusterRunner::new(&ctx, &ControllerChoice::Rhythm, &c)
+            .snapshot_at(5)
+            .run();
+        let snap = &run.snapshots[0].1;
+
+        let mut wrong_seed = c.clone();
+        wrong_seed.seed ^= 1;
+        assert!(matches!(
+            ClusterRunner::resume(snap, &ctx, &ControllerChoice::Rhythm, &wrong_seed).err(),
+            Some(SnapshotError::Incompatible { .. })
+        ));
+
+        let mut wrong_horizon = c.clone();
+        wrong_horizon.duration_s += 30;
+        assert!(matches!(
+            ClusterRunner::resume(snap, &ctx, &ControllerChoice::Rhythm, &wrong_horizon).err(),
+            Some(SnapshotError::Incompatible { .. })
+        ));
+
+        // Solo disables cluster management entirely — a managed snapshot
+        // cannot continue under it.
+        assert!(matches!(
+            ClusterRunner::resume(snap, &ctx, &ControllerChoice::Solo, &c).err(),
+            Some(SnapshotError::Incompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_requests_past_the_horizon_never_fire() {
+        let ctx = ctx();
+        let c = small_cfg(); // 90 s at 2 s epochs = 45 barriers
+        let run = ClusterRunner::new(&ctx, &ControllerChoice::Rhythm, &c)
+            .snapshot_at(0)
+            .snapshot_at(1000)
+            .run();
+        assert!(run.snapshots.is_empty());
+        let straight = run_cluster(&ctx, &ControllerChoice::Rhythm, &c);
+        assert_outcomes_identical(&straight, &run.outcome, "no-op capture run");
     }
 }

@@ -42,6 +42,27 @@ impl BeAction {
     }
 }
 
+impl rhythm_snapshot::Snapshot for BeAction {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u8(self.severity());
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(match r.u8()? {
+            0 => BeAction::AllowBeGrowth,
+            1 => BeAction::DisallowBeGrowth,
+            2 => BeAction::CutBe,
+            3 => BeAction::SuspendBe,
+            4 => BeAction::StopBe,
+            t => {
+                return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                    "unknown BeAction severity {t}"
+                )))
+            }
+        })
+    }
+}
+
 impl fmt::Display for BeAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -68,6 +68,33 @@ pub struct AgentStats {
     pub action_counts: [u64; 5],
 }
 
+impl rhythm_snapshot::Snapshot for AgentStats {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u64(self.ticks);
+        w.u64(self.sla_violations);
+        w.u64(self.be_kills);
+        for &c in &self.action_counts {
+            w.u64(c);
+        }
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let ticks = r.u64()?;
+        let sla_violations = r.u64()?;
+        let be_kills = r.u64()?;
+        let mut action_counts = [0u64; 5];
+        for c in &mut action_counts {
+            *c = r.u64()?;
+        }
+        Ok(AgentStats {
+            ticks,
+            sla_violations,
+            be_kills,
+            action_counts,
+        })
+    }
+}
+
 /// The per-machine agent.
 #[derive(Clone, Debug)]
 pub struct ControllerAgent {
@@ -101,6 +128,15 @@ impl ControllerAgent {
     /// The most recent action (None before the first tick).
     pub fn last_action(&self) -> Option<BeAction> {
         self.last_action
+    }
+
+    /// Reinstates the agent's mutable state from a snapshot. The policy
+    /// and growth configuration are *not* part of the snapshot — they are
+    /// pure functions of the experiment config and the caller rebuilds
+    /// the agent with [`ControllerAgent::new`] before restoring.
+    pub fn restore_state(&mut self, stats: AgentStats, last_action: Option<BeAction>) {
+        self.stats = stats;
+        self.last_action = last_action;
     }
 
     /// Executes one control period: decide, then actuate.

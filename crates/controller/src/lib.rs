@@ -29,6 +29,14 @@ pub mod agent;
 pub mod policy;
 pub mod subcontrollers;
 
+/// Layout description of every [`rhythm_snapshot::Snapshot`] impl in this
+/// crate. Hashed into snapshot files; **bump the text whenever an encoding
+/// here changes shape** so stale snapshots are refused instead of
+/// misdecoded.
+pub const SNAPSHOT_SCHEMA: &str = "rhythm-controller/v1: \
+     BeAction=severity:u8 \
+     AgentStats=(ticks:u64,sla_violations:u64,be_kills:u64,action_counts:[u64;5])";
+
 pub use action::BeAction;
 pub use agent::{be_snapshot, AgentInputs, AgentStats, ControllerAgent};
 pub use policy::{ThresholdPolicy, Thresholds};

@@ -31,8 +31,29 @@ pub mod runtime;
 pub mod servpod;
 pub mod timeline;
 
+/// Layout description of every [`rhythm_snapshot::Snapshot`] impl in this
+/// crate. Hashed into snapshot files; **bump the text whenever an encoding
+/// here changes shape** so stale snapshots are refused instead of
+/// misdecoded.
+pub const SNAPSHOT_SCHEMA: &str = "rhythm-core/v1: \
+     Ev=tag:u8+payload Visit=(node,parent,children,parallel,phase,n_phases,\
+     pending_children,phase_start,sojourn_ns,phase_rec) \
+     Request=(arrival,visits[..used]) NodeState=(workers,busy,queue,inflation,\
+     busy_area:u128,last_busy_change,visits_done_window) \
+     InflationInputs=(epoch,lc_mhz,be_mhz,be_limit_bits,rate_bits) \
+     BeProgress=(workload,done) BeAdmission=(machine,instance,workload) \
+     BeKill=(machine,instance,workload,progress) TimelinePoint=8 fields \
+     EngineMachineSummary=9 fields EngineSummary=(completed_total,inflight,\
+     pending_events,machines) \
+     Engine=machines,nodes,agents,be_specs,cal,rngs(arrival,service,path),\
+     requests,inflation_inputs,tail,arrivals_ring,hist,completed,completed_total,\
+     window_hist,window_epoch,worst_window_p99,sojourn_stats,sojourns,timeline,\
+     integrals,offers,be_job_progress,last_progress_at,logs,telemetry,audit_prev";
+
 pub use experiment::{ColocationOutcome, ExperimentConfig};
 pub use metrics::{PodMetrics, RunMetrics};
 pub use profiling::{profile_service, derive_thresholds, ProfileConfig, ServiceThresholds};
-pub use runtime::{ControlMode, Engine, EngineConfig, EngineOutput};
+pub use runtime::{
+    ControlMode, Engine, EngineConfig, EngineMachineSummary, EngineOutput, EngineSummary,
+};
 pub use servpod::{Deployment, Servpod};

@@ -22,6 +22,7 @@ use rhythm_sim::{
     Calendar, Dist, LatencyHistogram, OnlineStats, ResolvedDist, SimDuration, SimRng, SimTime,
     TailWindow,
 };
+use rhythm_snapshot::{Reader, Snapshot, SnapshotError, Writer};
 use rhythm_telemetry::{
     ActionCode, AuditRecord, EventKind, Telemetry, TelemetryConfig, TelemetryOutput, Trigger,
 };
@@ -273,6 +274,7 @@ enum Ev {
 }
 
 /// Per-visit interpreter state.
+#[derive(Clone)]
 struct Visit {
     node: usize,
     parent: Option<(usize, usize)>,
@@ -1519,6 +1521,573 @@ impl Engine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot support: everything below serialises the engine's *dynamic*
+// state. Structure derived purely from `(service, cfg)` — samplers,
+// maxload, expected visits, agent policies — is rebuilt by `Engine::new`
+// on restore and never written, so the codec stays small and a schema
+// mismatch is caught by the crate hash, not a garbage decode.
+//
+// Excluded by design: `visit_pool` / `plan_stack` / `plan_sampled`
+// (recycled scratch; capacity only, never behaviour) and `visit_trees`
+// (profiling captures; cluster runs never enable `capture_visits`).
+// ---------------------------------------------------------------------------
+
+impl Snapshot for Ev {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            Ev::Arrive => w.u8(0),
+            Ev::PhaseEnd { req, visit } => {
+                w.u8(1);
+                req.encode(w);
+                w.u64(visit as u64);
+            }
+            Ev::Control => w.u8(2),
+            Ev::Metrics => w.u8(3),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => Ev::Arrive,
+            1 => Ev::PhaseEnd {
+                req: Snapshot::decode(r)?,
+                visit: r.u64()? as usize,
+            },
+            2 => Ev::Control,
+            3 => Ev::Metrics,
+            t => return Err(SnapshotError::Corrupt(format!("unknown event tag {t}"))),
+        })
+    }
+}
+
+impl Snapshot for Visit {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.node as u64);
+        self.parent
+            .map(|(p, s)| (p as u64, s as u64))
+            .encode(w);
+        let children: Vec<u64> = self.children.iter().map(|&c| c as u64).collect();
+        children.encode(w);
+        w.bool(self.parallel);
+        w.u64(self.phase as u64);
+        w.u64(self.n_phases as u64);
+        w.u64(self.pending_children as u64);
+        self.phase_start.encode(w);
+        w.u64(self.sojourn_ns);
+        self.phase_rec.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let node = r.u64()? as usize;
+        let parent: Option<(u64, u64)> = Snapshot::decode(r)?;
+        let children: Vec<u64> = Snapshot::decode(r)?;
+        let parallel = r.bool()?;
+        let phase = r.u64()? as usize;
+        let n_phases = r.u64()? as usize;
+        let pending_children = r.u64()? as usize;
+        if pending_children > children.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "visit waits on {pending_children} children but has {}",
+                children.len()
+            )));
+        }
+        Ok(Visit {
+            node,
+            parent: parent.map(|(p, s)| (p as usize, s as usize)),
+            children: children.into_iter().map(|c| c as usize).collect(),
+            parallel,
+            phase,
+            n_phases,
+            pending_children,
+            phase_start: Snapshot::decode(r)?,
+            sojourn_ns: r.u64()?,
+            phase_rec: Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl Snapshot for Request {
+    fn encode(&self, w: &mut Writer) {
+        self.arrival.encode(w);
+        // Only the live plan travels; stale slots past `used` are
+        // recycled buffers whose contents never influence behaviour.
+        self.visits[..self.used].to_vec().encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let arrival: SimTime = Snapshot::decode(r)?;
+        let visits: Vec<Visit> = Snapshot::decode(r)?;
+        let used = visits.len();
+        for v in &visits {
+            if let Some((p, _)) = v.parent {
+                if p >= used {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "visit parent {p} out of range ({used} visits)"
+                    )));
+                }
+            }
+            if v.children.iter().any(|&c| c >= used) {
+                return Err(SnapshotError::Corrupt("visit child out of range".into()));
+            }
+        }
+        Ok(Request {
+            arrival,
+            visits,
+            used,
+        })
+    }
+}
+
+impl Snapshot for InflationInputs {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.epoch);
+        w.u32(self.lc_mhz);
+        w.u32(self.be_mhz);
+        w.u64(self.be_limit_bits);
+        w.u64(self.rate_bits);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(InflationInputs {
+            epoch: r.u64()?,
+            lc_mhz: r.u32()?,
+            be_mhz: r.u32()?,
+            be_limit_bits: r.u64()?,
+            rate_bits: r.u64()?,
+        })
+    }
+}
+
+impl Snapshot for NodeState {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.workers);
+        w.u32(self.busy);
+        let queue: Vec<(ReqKey, u64)> =
+            self.queue.iter().map(|&(k, v)| (k, v as u64)).collect();
+        queue.encode(w);
+        w.f64(self.inflation);
+        w.u128(self.busy_area);
+        self.last_busy_change.encode(w);
+        w.u64(self.visits_done_window);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let workers = r.u32()?;
+        let busy = r.u32()?;
+        if busy > workers {
+            return Err(SnapshotError::Corrupt(format!(
+                "node claims {busy} busy workers of {workers}"
+            )));
+        }
+        let queue: Vec<(ReqKey, u64)> = Snapshot::decode(r)?;
+        Ok(NodeState {
+            workers,
+            busy,
+            queue: queue.into_iter().map(|(k, v)| (k, v as usize)).collect(),
+            inflation: r.f64()?,
+            busy_area: r.u128()?,
+            last_busy_change: Snapshot::decode(r)?,
+            visits_done_window: r.u64()?,
+        })
+    }
+}
+
+impl Snapshot for BeProgress {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.workload);
+        w.f64(self.done);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(BeProgress {
+            workload: r.str()?,
+            done: r.f64()?,
+        })
+    }
+}
+
+impl Snapshot for BeAdmission {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.machine as u64);
+        w.u64(self.instance);
+        w.str(&self.workload);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(BeAdmission {
+            machine: r.u64()? as usize,
+            instance: r.u64()?,
+            workload: r.str()?,
+        })
+    }
+}
+
+impl Snapshot for BeKill {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.machine as u64);
+        w.u64(self.instance);
+        w.str(&self.workload);
+        w.f64(self.progress);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(BeKill {
+            machine: r.u64()? as usize,
+            instance: r.u64()?,
+            workload: r.str()?,
+            progress: r.f64()?,
+        })
+    }
+}
+
+impl Snapshot for TimelinePoint {
+    fn encode(&self, w: &mut Writer) {
+        w.f64(self.t_s);
+        w.f64(self.load);
+        w.f64(self.slack);
+        self.cpu_util_pct.encode(w);
+        self.be_llc_ways.encode(w);
+        self.be_cores.encode(w);
+        self.be_instances.encode(w);
+        self.be_throughput.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TimelinePoint {
+            t_s: r.f64()?,
+            load: r.f64()?,
+            slack: r.f64()?,
+            cpu_util_pct: Snapshot::decode(r)?,
+            be_llc_ways: Snapshot::decode(r)?,
+            be_cores: Snapshot::decode(r)?,
+            be_instances: Snapshot::decode(r)?,
+            be_throughput: Snapshot::decode(r)?,
+        })
+    }
+}
+
+/// Structural digest of one machine for snapshot post-mortems
+/// ([`crate::Engine::snapshot_summary`]); rendered by `repro
+/// snapshot-diff`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineMachineSummary {
+    /// Servpod (component) name hosted on the machine.
+    pub pod: String,
+    /// BE instances present (running + suspended).
+    pub be_instances: u32,
+    /// BE instances currently running.
+    pub be_running: u32,
+    /// Cores granted to BE.
+    pub be_cores: u32,
+    /// LLC ways granted to BE.
+    pub be_llc_ways: u32,
+    /// LC DVFS point in MHz.
+    pub lc_freq_mhz: u32,
+    /// BE DVFS point in MHz.
+    pub be_freq_mhz: u32,
+    /// BE instances ever started.
+    pub be_started: u64,
+    /// BE instances ever killed.
+    pub be_killed: u64,
+}
+
+/// Structural digest of one engine for snapshot post-mortems: enough to
+/// diff two snapshots without decoding the full engine byte stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineSummary {
+    /// Requests completed in total (including warm-up).
+    pub completed_total: u64,
+    /// Requests in flight at the snapshot point.
+    pub inflight: u64,
+    /// Events pending in the calendar.
+    pub pending_events: u64,
+    /// Per-machine digests, in Servpod order.
+    pub machines: Vec<EngineMachineSummary>,
+}
+
+impl Snapshot for EngineMachineSummary {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.pod);
+        w.u32(self.be_instances);
+        w.u32(self.be_running);
+        w.u32(self.be_cores);
+        w.u32(self.be_llc_ways);
+        w.u32(self.lc_freq_mhz);
+        w.u32(self.be_freq_mhz);
+        w.u64(self.be_started);
+        w.u64(self.be_killed);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(EngineMachineSummary {
+            pod: r.str()?,
+            be_instances: r.u32()?,
+            be_running: r.u32()?,
+            be_cores: r.u32()?,
+            be_llc_ways: r.u32()?,
+            lc_freq_mhz: r.u32()?,
+            be_freq_mhz: r.u32()?,
+            be_started: r.u64()?,
+            be_killed: r.u64()?,
+        })
+    }
+}
+
+impl Snapshot for EngineSummary {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.completed_total);
+        w.u64(self.inflight);
+        w.u64(self.pending_events);
+        self.machines.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        Ok(EngineSummary {
+            completed_total: r.u64()?,
+            inflight: r.u64()?,
+            pending_events: r.u64()?,
+            machines: Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl Engine {
+    /// Serialises the engine's dynamic state. The stream is canonical:
+    /// identical state yields identical bytes, and re-encoding a restored
+    /// engine reproduces the stream bit for bit.
+    pub fn snapshot_encode(&self, w: &mut Writer) {
+        self.deployment.machines.encode(w);
+        w.u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            n.encode(w);
+        }
+        let agents: Vec<Option<(AgentStats, Option<BeAction>)>> = self
+            .agents
+            .iter()
+            .map(|a| a.as_ref().map(|a| (a.stats(), a.last_action())))
+            .collect();
+        agents.encode(w);
+        self.be_specs.encode(w);
+        self.cal.encode(w);
+        self.rng_arrival.encode(w);
+        self.rng_service.encode(w);
+        self.rng_path.encode(w);
+        self.requests.encode(w);
+        self.inflation_inputs.encode(w);
+        self.tail.encode(w);
+        self.arrivals_ring.encode(w);
+        self.hist.encode(w);
+        w.u64(self.completed);
+        w.u64(self.completed_total);
+        self.window_hist.encode(w);
+        w.u64(self.window_epoch);
+        w.f64(self.worst_window_p99);
+        self.sojourn_stats.encode(w);
+        self.sojourns.encode(w);
+        self.timeline.encode(w);
+        self.be_progress_int.encode(w);
+        self.be_instances_int.encode(w);
+        self.cpu_util_int.encode(w);
+        self.lc_cpu_util_int.encode(w);
+        self.membw_int.encode(w);
+        w.f64(self.offered_int);
+        w.f64(self.int_time);
+        self.last_integral_at.encode(w);
+        let offers: Vec<Option<(BeSpec, u8)>> = self
+            .be_offers
+            .iter()
+            .map(|o| o.as_ref().map(|(s, p)| ((**s).clone(), *p)))
+            .collect();
+        offers.encode(w);
+        self.be_job_progress.encode(w);
+        self.last_progress_at.encode(w);
+        self.admitted_log.encode(w);
+        self.killed_log.encode(w);
+        self.telemetry.encode(w);
+        self.audit_prev.encode(w);
+    }
+
+    /// Rebuilds an engine from `(service, cfg)` — which must match the
+    /// capturing run — and the dynamic state in `r`. The restored engine
+    /// continues bit-identically to the one that was captured; state that
+    /// contradicts the deployment (wrong machine count or spec, dangling
+    /// request keys) is refused as [`SnapshotError::Corrupt`].
+    pub fn snapshot_restore(
+        service: impl Into<Arc<ServiceSpec>>,
+        cfg: EngineConfig,
+        r: &mut Reader<'_>,
+    ) -> Result<Engine, SnapshotError> {
+        let mut e = Engine::new(service, cfg);
+        let n = e.nodes.len();
+        let machines: Vec<Machine> = Snapshot::decode(r)?;
+        if machines.len() != n {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {} machines, deployment has {n}",
+                machines.len()
+            )));
+        }
+        for (m, fresh) in machines.iter().zip(&e.deployment.machines) {
+            if m.spec() != fresh.spec() {
+                return Err(SnapshotError::Corrupt(
+                    "snapshot machine spec differs from the configured deployment".into(),
+                ));
+            }
+        }
+        e.deployment.machines = machines;
+        let n_nodes = r.len(8)?;
+        if n_nodes != n {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {n_nodes} nodes, service has {n}"
+            )));
+        }
+        for i in 0..n {
+            let node: NodeState = Snapshot::decode(r)?;
+            if node.workers != e.nodes[i].workers {
+                return Err(SnapshotError::Corrupt(format!(
+                    "node {i} has {} workers, service says {}",
+                    node.workers, e.nodes[i].workers
+                )));
+            }
+            e.nodes[i] = node;
+        }
+        let agents: Vec<Option<(AgentStats, Option<BeAction>)>> = Snapshot::decode(r)?;
+        if agents.len() != n {
+            return Err(SnapshotError::Corrupt("agent count mismatch".into()));
+        }
+        for (i, state) in agents.into_iter().enumerate() {
+            match (e.agents[i].as_mut(), state) {
+                (Some(agent), Some((stats, last))) => agent.restore_state(stats, last),
+                (None, None) => {}
+                _ => {
+                    return Err(SnapshotError::Corrupt(
+                        "agent presence differs from the configured control mode".into(),
+                    ))
+                }
+            }
+        }
+        e.be_specs = Snapshot::decode(r)?;
+        e.cal = Snapshot::decode(r)?;
+        e.rng_arrival = Snapshot::decode(r)?;
+        e.rng_service = Snapshot::decode(r)?;
+        e.rng_path = Snapshot::decode(r)?;
+        e.requests = Snapshot::decode(r)?;
+        for (_k, req) in e.requests.iter() {
+            if req.visits[..req.used].iter().any(|v| v.node >= n) {
+                return Err(SnapshotError::Corrupt("visit node out of range".into()));
+            }
+        }
+        for node in &e.nodes {
+            for &(key, visit) in &node.queue {
+                let ok = e
+                    .requests
+                    .get(key)
+                    .map(|req| visit < req.used)
+                    .unwrap_or(false);
+                if !ok {
+                    return Err(SnapshotError::Corrupt(
+                        "node queue references a request that is not in flight".into(),
+                    ));
+                }
+            }
+        }
+        e.inflation_inputs = Snapshot::decode(r)?;
+        if e.inflation_inputs.len() != n {
+            return Err(SnapshotError::Corrupt("inflation cache length mismatch".into()));
+        }
+        e.tail = Snapshot::decode(r)?;
+        e.arrivals_ring = Snapshot::decode(r)?;
+        e.hist = Snapshot::decode(r)?;
+        e.completed = r.u64()?;
+        e.completed_total = r.u64()?;
+        e.window_hist = Snapshot::decode(r)?;
+        e.window_epoch = r.u64()?;
+        e.worst_window_p99 = r.f64()?;
+        e.sojourn_stats = Snapshot::decode(r)?;
+        if e.sojourn_stats.len() != n {
+            return Err(SnapshotError::Corrupt("sojourn stats length mismatch".into()));
+        }
+        e.sojourns = Snapshot::decode(r)?;
+        if e.sojourns.is_some() != e.cfg.collect_sojourns {
+            return Err(SnapshotError::Corrupt(
+                "sojourn collection differs from the configured run".into(),
+            ));
+        }
+        e.timeline = Snapshot::decode(r)?;
+        e.be_progress_int = Snapshot::decode(r)?;
+        e.be_instances_int = Snapshot::decode(r)?;
+        e.cpu_util_int = Snapshot::decode(r)?;
+        e.lc_cpu_util_int = Snapshot::decode(r)?;
+        e.membw_int = Snapshot::decode(r)?;
+        w_len_check(&e.be_progress_int, n)?;
+        w_len_check(&e.be_instances_int, n)?;
+        w_len_check(&e.cpu_util_int, n)?;
+        w_len_check(&e.lc_cpu_util_int, n)?;
+        w_len_check(&e.membw_int, n)?;
+        e.offered_int = r.f64()?;
+        e.int_time = r.f64()?;
+        e.last_integral_at = Snapshot::decode(r)?;
+        let offers: Vec<Option<(BeSpec, u8)>> = Snapshot::decode(r)?;
+        if offers.len() != n {
+            return Err(SnapshotError::Corrupt("offer table length mismatch".into()));
+        }
+        e.be_offers = offers
+            .into_iter()
+            .map(|o| o.map(|(s, p)| (Arc::new(s), p)))
+            .collect();
+        e.be_job_progress = Snapshot::decode(r)?;
+        if e.be_job_progress.len() != n {
+            return Err(SnapshotError::Corrupt("progress ledger length mismatch".into()));
+        }
+        e.last_progress_at = Snapshot::decode(r)?;
+        e.admitted_log = Snapshot::decode(r)?;
+        e.killed_log = Snapshot::decode(r)?;
+        e.telemetry = Snapshot::decode(r)?;
+        e.audit_prev = Snapshot::decode(r)?;
+        if e.audit_prev.len() != n {
+            return Err(SnapshotError::Corrupt("audit cache length mismatch".into()));
+        }
+        // The captured run had already started; `start()` must not
+        // re-run setup on the restored state.
+        e.started = true;
+        Ok(e)
+    }
+
+    /// A structural digest of the engine for snapshot post-mortems
+    /// (stored next to the full byte stream so `repro snapshot-diff`
+    /// never needs the service spec to render a comparison).
+    pub fn snapshot_summary(&self) -> EngineSummary {
+        EngineSummary {
+            completed_total: self.completed_total,
+            inflight: self.requests.len() as u64,
+            pending_events: self.cal.len() as u64,
+            machines: (0..self.nodes.len())
+                .map(|i| {
+                    let m = &self.deployment.machines[i];
+                    EngineMachineSummary {
+                        pod: self.service.nodes[i].component.name.clone(),
+                        be_instances: m.be_count() as u32,
+                        be_running: m.running_be_count() as u32,
+                        be_cores: m.be_total_alloc().cores,
+                        be_llc_ways: m.cat().be_ways(),
+                        lc_freq_mhz: m.lc_dvfs.current_mhz(),
+                        be_freq_mhz: m.be_dvfs.current_mhz(),
+                        be_started: m.be_started,
+                        be_killed: m.be_killed,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+fn w_len_check(v: &[f64], n: usize) -> Result<(), SnapshotError> {
+    if v.len() != n {
+        return Err(SnapshotError::Corrupt("integral length mismatch".into()));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1736,6 +2305,83 @@ mod tests {
             "resume accrual off: {at_8} vs {}",
             6.5 * rate
         );
+    }
+
+    fn managed_cfg(seed: u64) -> EngineConfig {
+        let mut cfg = EngineConfig::solo(0.5, 60, seed);
+        cfg.bes = vec![BeSpec::of(BeKind::Wordcount)];
+        cfg.sla_ms = 400.0;
+        cfg.mode = ControlMode::Managed {
+            thresholds: vec![Thresholds::new(0.9, 0.05); 4],
+        };
+        cfg.telemetry = TelemetryConfig::full();
+        cfg
+    }
+
+    /// Fingerprint of a finished run, bit-exact (f64s compared by bits).
+    fn run_fingerprint(out: &EngineOutput) -> (u64, u64, u64, u64, usize, usize) {
+        let t = out.telemetry.as_ref().expect("telemetry on");
+        (
+            out.completed,
+            out.completed_total,
+            out.p99_ms().to_bits(),
+            out.worst_window_p99_ms.to_bits(),
+            t.events.len(),
+            t.audit.len(),
+        )
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        // Straight-through run.
+        let direct = Engine::new(apps::ecommerce(), managed_cfg(21)).run();
+
+        // Run to t=20s, snapshot, restore, run to completion.
+        let mut first = Engine::new(apps::ecommerce(), managed_cfg(21));
+        first.run_until(SimTime::ZERO + SimDuration::from_secs(20));
+        let mut w = Writer::new();
+        first.snapshot_encode(&mut w);
+        let bytes = w.into_bytes();
+        let resumed = Engine::snapshot_restore(
+            apps::ecommerce(),
+            managed_cfg(21),
+            &mut Reader::new(&bytes),
+        )
+        .expect("snapshot restores");
+        // Re-encoding the restored engine is byte-identical (canonical
+        // codec).
+        let mut w2 = Writer::new();
+        resumed.snapshot_encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        let out = resumed.run();
+        assert_eq!(run_fingerprint(&out), run_fingerprint(&direct));
+        // Tail-series splice: no duplicated or missing points.
+        let a = &out.telemetry.as_ref().unwrap().tail;
+        let b = &direct.telemetry.as_ref().unwrap().tail;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_wrong_deployment() {
+        let mut e = Engine::new(apps::ecommerce(), managed_cfg(22));
+        e.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let mut w = Writer::new();
+        e.snapshot_encode(&mut w);
+        let bytes = w.into_bytes();
+        // Wrong service shape (3 pods instead of 4).
+        let mut cfg = managed_cfg(22);
+        cfg.mode = ControlMode::Managed {
+            thresholds: vec![Thresholds::new(0.9, 0.05); 3],
+        };
+        let r = Engine::snapshot_restore(apps::snms(), cfg, &mut Reader::new(&bytes));
+        assert!(matches!(r.err(), Some(SnapshotError::Corrupt(_))));
+        // Truncated stream.
+        let r = Engine::snapshot_restore(
+            apps::ecommerce(),
+            managed_cfg(22),
+            &mut Reader::new(&bytes[..bytes.len() / 2]),
+        );
+        assert!(r.is_err());
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! | U01  | every `unsafe` needs a `// SAFETY:` comment | everywhere |
 //! | H01  | every `#[allow(...)]` needs a justification | everywhere |
 //! | A01  | every `// lint:allow(...)` pragma needs a reason | everywhere |
+//! | S01  | no hash containers or raw-pointer fields in snapshot state types | snapshot-tagged lib modules |
+//!
+//! A module is *snapshot-tagged* when its file is named `snapshot.rs` or
+//! it carries a `// lint:snapshot-state` marker comment: its types are
+//! durable state with a canonical byte encoding, so fields must have a
+//! deterministic encode order (no `HashMap`/`HashSet`) and must not key
+//! on addresses that die with the process (no `*const`/`*mut`).
 //!
 //! The escape hatch is `// lint:allow(<rule>) -- <reason>` on the
 //! finding's line or the line above; the reason is mandatory (A01).
@@ -84,6 +91,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "A01",
         summary: "lint:allow pragma requires a reason and known rule ids",
+    },
+    RuleInfo {
+        id: "S01",
+        summary: "no hash containers or raw-pointer fields in snapshot state types",
     },
 ];
 
@@ -166,6 +177,9 @@ pub fn lint_tokens(rel_path: &str, tokens: &[Token]) -> FileLint {
     }
     u01_unsafe_safety(rel_path, &code, &comments, &mut raw);
     h01_allow_justified(rel_path, &code, &comments, &mut raw);
+    if s01_applies(&scope, rel_path, &comments) {
+        s01_snapshot_state(rel_path, &code, &in_test, &mut raw);
+    }
 
     // Apply suppression: a well-formed pragma covers its own line and the
     // line below it.
@@ -204,6 +218,115 @@ fn d03_applies(scope: &FileScope) -> bool {
 
 fn d04_applies(scope: &FileScope) -> bool {
     scope.kind == FileKind::Lib && F64_ONLY_CRATES.contains(&scope.crate_name.as_str())
+}
+
+/// Marker comment that tags a whole module's types as snapshot state.
+const SNAPSHOT_TAG: &str = "lint:snapshot-state";
+
+/// S01 covers lib modules whose types are durable snapshot state: files
+/// named `snapshot.rs`, or any file carrying a `lint:snapshot-state`
+/// marker comment.
+fn s01_applies(scope: &FileScope, rel_path: &str, comments: &[&Token]) -> bool {
+    if scope.kind != FileKind::Lib {
+        return false;
+    }
+    rel_path.rsplit('/').next() == Some("snapshot.rs")
+        || comments.iter().any(|c| {
+            c.text
+                .trim_start_matches(['/', '!', '*', ' ', '\t'])
+                .starts_with(SNAPSHOT_TAG)
+        })
+}
+
+/// S01: inside a snapshot-tagged module, `struct`/`enum` bodies must not
+/// contain hash containers (no canonical encode order) or raw pointers
+/// (addresses do not survive encode/decode).
+fn s01_snapshot_state(
+    rel_path: &str,
+    code: &[&Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(is_ident(code[i], "struct") || is_ident(code[i], "enum")) {
+            i += 1;
+            continue;
+        }
+        let name = code
+            .get(i + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map_or("_", |t| t.text.as_str())
+            .to_string();
+        // Find the body opener: `{` (fields/variants), `(` (tuple
+        // struct), or `;` (unit struct — nothing to check).
+        let mut j = i + 1;
+        let mut open = None;
+        while j < code.len() {
+            if is_punct(code[j], '{') {
+                open = Some(('{', '}'));
+                break;
+            }
+            if is_punct(code[j], '(') {
+                open = Some(('(', ')'));
+                break;
+            }
+            if is_punct(code[j], ';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some((open, close)) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let body_start = j;
+        let mut depth = 0usize;
+        while j < code.len() {
+            if is_punct(code[j], open) {
+                depth += 1;
+            } else if is_punct(code[j], close) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        for k in body_start..j.min(code.len()) {
+            let t = code[k];
+            if in_test(t.line) {
+                continue;
+            }
+            if t.kind == TokenKind::Ident && HASH_TYPES.contains(&t.text.as_str()) {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    rule: "S01",
+                    message: format!(
+                        "`{}` field in snapshot state type `{name}` — hash containers have no \
+                         canonical encode order; use BTreeMap/BTreeSet",
+                        t.text
+                    ),
+                });
+            }
+            if is_punct(t, '*')
+                && k + 1 < j
+                && (is_ident(code[k + 1], "const") || is_ident(code[k + 1], "mut"))
+            {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    rule: "S01",
+                    message: format!(
+                        "raw pointer field in snapshot state type `{name}` — addresses do not \
+                         survive encode/decode; key by stable index or id",
+                    ),
+                });
+            }
+        }
+        i = j.max(i + 1);
+    }
 }
 
 fn is_punct(t: &Token, c: char) -> bool {
@@ -789,5 +912,65 @@ mod tests {
         let mut sorted = lines.clone();
         sorted.sort_unstable();
         assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn s01_flags_hash_and_pointer_fields_in_snapshot_modules() {
+        // `snapshot.rs` is tagged by name; the `snapshot` crate is not in
+        // DETERMINISTIC_CRATES, so the findings here are purely S01.
+        let src = "pub struct State {\n\
+                   \x20   pub index: HashMap<u64, u64>,\n\
+                   \x20   pub owner: *const u8,\n\
+                   \x20   pub order: BTreeMap<u64, u64>,\n\
+                   }\n";
+        let l = run("crates/snapshot/src/snapshot.rs", src);
+        assert_eq!(
+            l.findings.iter().map(Finding::render).collect::<Vec<_>>(),
+            vec![
+                "crates/snapshot/src/snapshot.rs:2: S01 `HashMap` field in snapshot state type \
+                 `State` — hash containers have no canonical encode order; use \
+                 BTreeMap/BTreeSet"
+                    .to_string(),
+                "crates/snapshot/src/snapshot.rs:3: S01 raw pointer field in snapshot state type \
+                 `State` — addresses do not survive encode/decode; key by stable index or id"
+                    .to_string(),
+            ],
+        );
+    }
+
+    #[test]
+    fn s01_marker_comment_tags_any_lib_module() {
+        let src = "// lint:snapshot-state\n\
+                   pub enum Slot { Empty, Full(HashSet<u8>) }\n\
+                   fn local() { let m: *mut u8 = std::ptr::null_mut(); }\n";
+        let l = run("crates/snapshot/src/queue.rs", src);
+        // Only the enum body is checked: the raw pointer inside `local`
+        // is transient, not snapshot state.
+        assert_eq!(rules_of(&l), vec!["S01"]);
+        assert_eq!(l.findings[0].line, 2);
+        // Without the marker (and not named snapshot.rs) the same source
+        // is out of S01's scope.
+        let untagged = "pub enum Slot { Empty, Full(HashSet<u8>) }\n";
+        assert!(run("crates/snapshot/src/queue.rs", untagged).findings.is_empty());
+    }
+
+    #[test]
+    fn s01_clean_snapshot_state_and_tests_pass() {
+        let src = "pub struct State { pub order: BTreeMap<u64, u64>, pub ids: Vec<u64> }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   struct Probe { m: HashMap<u8, u8> }\n\
+                   }\n";
+        assert!(run("crates/snapshot/src/snapshot.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn s01_suppressible_like_any_rule() {
+        let src = "// lint:allow(S01) -- legacy layout, encode sorts explicitly\n\
+                   pub struct State { pub index: HashMap<u64, u64> }\n";
+        let l = run("crates/snapshot/src/snapshot.rs", src);
+        assert!(l.findings.is_empty());
+        assert_eq!(l.suppressed.len(), 1);
+        assert_eq!(l.suppressed[0].finding.rule, "S01");
     }
 }

@@ -112,6 +112,28 @@ impl CatPartition {
     }
 }
 
+impl rhythm_snapshot::Snapshot for CatPartition {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u32(self.total_ways);
+        w.u32(self.lc_ways);
+        w.u32(self.be_ways);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let p = CatPartition {
+            total_ways: r.u32()?,
+            lc_ways: r.u32()?,
+            be_ways: r.u32()?,
+        };
+        if !p.is_consistent() {
+            return Err(rhythm_snapshot::SnapshotError::Corrupt(
+                "CAT partition violates its way-count invariant".into(),
+            ));
+        }
+        Ok(p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

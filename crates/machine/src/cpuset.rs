@@ -116,6 +116,16 @@ impl CpuSet {
     }
 }
 
+impl rhythm_snapshot::Snapshot for CpuSet {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u128(self.bits);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(CpuSet { bits: r.u128()? })
+    }
+}
+
 impl fmt::Debug for CpuSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "CpuSet{{")?;

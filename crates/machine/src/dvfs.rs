@@ -86,6 +86,30 @@ impl DvfsDomain {
     }
 }
 
+impl rhythm_snapshot::Snapshot for DvfsDomain {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u32(self.min_mhz);
+        w.u32(self.max_mhz);
+        w.u32(self.step_mhz);
+        w.u32(self.current_mhz);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let d = DvfsDomain {
+            min_mhz: r.u32()?,
+            max_mhz: r.u32()?,
+            step_mhz: r.u32()?,
+            current_mhz: r.u32()?,
+        };
+        if d.min_mhz > d.max_mhz || d.current_mhz < d.min_mhz || d.current_mhz > d.max_mhz {
+            return Err(rhythm_snapshot::SnapshotError::Corrupt(
+                "DVFS operating point outside its domain range".into(),
+            ));
+        }
+        Ok(d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

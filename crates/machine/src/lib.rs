@@ -34,6 +34,21 @@ pub mod power;
 pub mod qdisc;
 pub mod spec;
 
+/// Layout description of every [`rhythm_snapshot::Snapshot`] impl in this
+/// crate. Hashed into snapshot files; **bump the text whenever an encoding
+/// here changes shape** so stale snapshots are refused instead of
+/// misdecoded.
+pub const SNAPSHOT_SCHEMA: &str = "rhythm-machine/v1: \
+     Allocation=(cores:u32,llc_ways:u32,mem_mb:u64,net_mbps:f64,freq_mhz:u32) \
+     CpuSet=u128 CatPartition=(total:u32,lc:u32,be:u32) \
+     DvfsDomain=(min:u32,max:u32,step:u32,current:u32) \
+     Qdisc=(link:f64,be_limit:f64) \
+     PowerModel=(idle:f64,dyn_per_core:f64,max_freq:u32,tdp:f64) \
+     MachineSpec=11 fields \
+     BeInstance=(id:u64,workload:str,alloc,cpuset,state:u8,priority:u8,saved:Option) \
+     Machine=(spec,lc_alloc,lc_cpuset,free_cores,cat,lc_dvfs,be_dvfs,qdisc,power,\
+     bes:[BeInstance],next_be_id:u64,change_epoch:u64,be_started:u64,be_killed:u64)";
+
 pub use alloc::Allocation;
 pub use cat::CatPartition;
 pub use cpuset::CpuSet;

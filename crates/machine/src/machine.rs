@@ -542,6 +542,125 @@ impl Machine {
     }
 }
 
+impl rhythm_snapshot::Snapshot for BeState {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u8(match self {
+            BeState::Running => 0,
+            BeState::Suspended => 1,
+        });
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        match r.u8()? {
+            0 => Ok(BeState::Running),
+            1 => Ok(BeState::Suspended),
+            t => Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                "unknown BeState tag {t}"
+            ))),
+        }
+    }
+}
+
+impl rhythm_snapshot::Snapshot for BeInstance {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u64(self.id);
+        w.str(&self.workload);
+        self.alloc.encode(w);
+        self.cpuset.encode(w);
+        self.state.encode(w);
+        w.u8(self.priority);
+        self.saved.encode(w);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(BeInstance {
+            id: r.u64()?,
+            workload: r.str()?,
+            alloc: Allocation::decode(r)?,
+            cpuset: CpuSet::decode(r)?,
+            state: BeState::decode(r)?,
+            priority: r.u8()?,
+            saved: Option::<Allocation>::decode(r)?,
+        })
+    }
+}
+
+impl rhythm_snapshot::Snapshot for Machine {
+    /// Context-free encoding of the full machine: spec, LC reservation,
+    /// core/LLC/DVFS/qdisc actuator state, every BE instance, and the
+    /// cumulative counters. Decoding re-checks the machine invariants, so
+    /// a tampered or mismatched snapshot is refused rather than producing
+    /// a machine that cannot account for its own cores.
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        self.spec.encode(w);
+        self.lc_alloc.encode(w);
+        self.lc_cpuset.encode(w);
+        self.free_cores.encode(w);
+        self.cat.encode(w);
+        self.lc_dvfs.encode(w);
+        self.be_dvfs.encode(w);
+        self.qdisc.encode(w);
+        self.power.encode(w);
+        w.u64(self.bes.len() as u64);
+        for inst in self.bes.values() {
+            inst.encode(w);
+        }
+        w.u64(self.next_be_id);
+        w.u64(self.change_epoch);
+        w.u64(self.be_started);
+        w.u64(self.be_killed);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let spec = MachineSpec::decode(r)?;
+        let lc_alloc = Allocation::decode(r)?;
+        let lc_cpuset = CpuSet::decode(r)?;
+        let free_cores = CpuSet::decode(r)?;
+        let cat = CatPartition::decode(r)?;
+        let lc_dvfs = DvfsDomain::decode(r)?;
+        let be_dvfs = DvfsDomain::decode(r)?;
+        let qdisc = Qdisc::decode(r)?;
+        let power = PowerModel::decode(r)?;
+        let n = r.len(1)?;
+        let mut bes = BTreeMap::new();
+        let mut max_id = None;
+        for _ in 0..n {
+            let inst = BeInstance::decode(r)?;
+            max_id = max_id.max(Some(inst.id));
+            if bes.insert(inst.id, inst).is_some() {
+                return Err(rhythm_snapshot::SnapshotError::Corrupt(
+                    "duplicate BE instance id".into(),
+                ));
+            }
+        }
+        let next_be_id = r.u64()?;
+        if max_id.is_some_and(|id| id >= next_be_id) {
+            return Err(rhythm_snapshot::SnapshotError::Corrupt(
+                "BE id counter behind a live instance id".into(),
+            ));
+        }
+        let m = Machine {
+            spec,
+            lc_alloc,
+            lc_cpuset,
+            free_cores,
+            cat,
+            lc_dvfs,
+            be_dvfs,
+            qdisc,
+            power,
+            bes,
+            next_be_id,
+            change_epoch: r.u64()?,
+            be_started: r.u64()?,
+            be_killed: r.u64()?,
+        };
+        m.check_invariants()
+            .map_err(rhythm_snapshot::SnapshotError::Corrupt)?;
+        Ok(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,6 +904,54 @@ mod tests {
         let mut m = machine();
         let id = m.admit_be("x", be_req()).unwrap();
         assert_eq!(m.bes.get(&id).unwrap().priority, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_machine() {
+        use rhythm_snapshot::{Reader, Snapshot, Writer};
+        let mut m = machine();
+        let a = m.admit_be_prio("wordcount", be_req(), 1).unwrap();
+        m.admit_be("stream", be_req()).unwrap();
+        m.suspend_be(a).unwrap();
+        m.lc_dvfs.step_down();
+        m.qdisc.reallocate(1_500.0);
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Machine::decode(&mut Reader::new(&bytes)).unwrap();
+        assert!(r.check_invariants().is_ok());
+        assert_eq!(r.be_count(), m.be_count());
+        assert_eq!(r.running_be_count(), m.running_be_count());
+        assert_eq!(r.change_epoch(), m.change_epoch());
+        assert_eq!(r.free_core_count(), m.free_core_count());
+        assert_eq!(r.lc_dvfs.current_mhz(), m.lc_dvfs.current_mhz());
+        assert_eq!(r.qdisc.be_limit_mbps(), m.qdisc.be_limit_mbps());
+        // Suspended grant restores identically on both machines.
+        let back_m = m.resume_be(a).unwrap();
+        let back_r = r.resume_be(a).unwrap();
+        assert_eq!(back_m, back_r);
+        // Canonical bytes: encoding the restored machine is identical.
+        let mut w2 = Writer::new();
+        let mut w3 = Writer::new();
+        m.encode(&mut w2);
+        r.encode(&mut w3);
+        assert_eq!(w2.into_bytes(), w3.into_bytes());
+    }
+
+    #[test]
+    fn snapshot_rejects_broken_accounting() {
+        use rhythm_snapshot::{Reader, Snapshot, SnapshotError, Writer};
+        let mut m = machine();
+        m.admit_be("wc", be_req()).unwrap();
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // The free-core cpuset sits right after spec + lc_alloc + lc_cpuset.
+        // Flip a low bit of it so core accounting no longer sums up.
+        let off = 4 * 3 + 8 * 5 + 4 * 3 + (4 + 4 + 8 + 8 + 4) + 16;
+        bytes[off] ^= 0x02;
+        let decoded = Machine::decode(&mut Reader::new(&bytes));
+        assert!(matches!(decoded.err(), Some(SnapshotError::Corrupt(_))));
     }
 
     #[test]

@@ -184,6 +184,41 @@ impl MachineSpec {
     }
 }
 
+impl rhythm_snapshot::Snapshot for MachineSpec {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u32(self.sockets);
+        w.u32(self.cores_per_socket);
+        w.u32(self.llc_ways_per_socket);
+        w.f64(self.llc_mb_per_socket);
+        w.u64(self.mem_mb_per_socket);
+        w.f64(self.membw_mbps_per_socket);
+        w.f64(self.nic_mbps);
+        w.u32(self.max_freq_mhz);
+        w.u32(self.min_freq_mhz);
+        w.u32(self.freq_step_mhz);
+        w.f64(self.tdp_watts_per_socket);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let spec = MachineSpec {
+            sockets: r.u32()?,
+            cores_per_socket: r.u32()?,
+            llc_ways_per_socket: r.u32()?,
+            llc_mb_per_socket: r.f64()?,
+            mem_mb_per_socket: r.u64()?,
+            membw_mbps_per_socket: r.f64()?,
+            nic_mbps: r.f64()?,
+            max_freq_mhz: r.u32()?,
+            min_freq_mhz: r.u32()?,
+            freq_step_mhz: r.u32()?,
+            tdp_watts_per_socket: r.f64()?,
+        };
+        spec.validate()
+            .map_err(rhythm_snapshot::SnapshotError::Corrupt)?;
+        Ok(spec)
+    }
+}
+
 impl Default for MachineSpec {
     fn default() -> Self {
         Self::paper_testbed()

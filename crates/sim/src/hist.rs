@@ -188,9 +188,69 @@ impl LatencyHistogram {
     }
 }
 
+impl rhythm_snapshot::Snapshot for LatencyHistogram {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.f64(self.log_gamma);
+        w.f64(self.min_value);
+        w.u64(self.counts.len() as u64);
+        for &c in &self.counts {
+            w.u64(c);
+        }
+        w.u64(self.total);
+        w.f64(self.sum);
+        w.f64(self.max);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let log_gamma = r.f64()?;
+        let min_value = r.f64()?;
+        let n = r.len(8)?;
+        let mut counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            counts.push(r.u64()?);
+        }
+        let total = r.u64()?;
+        let sum = r.f64()?;
+        let max = r.f64()?;
+        if counts.iter().sum::<u64>() != total {
+            return Err(rhythm_snapshot::SnapshotError::Corrupt(
+                "histogram bucket counts do not sum to total".into(),
+            ));
+        }
+        Ok(LatencyHistogram {
+            log_gamma,
+            min_value,
+            counts,
+            total,
+            sum,
+            max,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact() {
+        use rhythm_snapshot::{Reader, Snapshot, Writer};
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 0.37);
+        }
+        let mut w = Writer::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        let g = LatencyHistogram::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(g.count(), h.count());
+        assert_eq!(g.sum().to_bits(), h.sum().to_bits());
+        assert_eq!(g.max().to_bits(), h.max().to_bits());
+        assert_eq!(g.quantile(0.99).to_bits(), h.quantile(0.99).to_bits());
+        let mut w2 = Writer::new();
+        g.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
 
     #[test]
     fn quantiles_within_relative_error() {

@@ -152,6 +152,26 @@ impl SimDuration {
     }
 }
 
+impl rhythm_snapshot::Snapshot for SimTime {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u64(self.0);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(SimTime(r.u64()?))
+    }
+}
+
+impl rhythm_snapshot::Snapshot for SimDuration {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u64(self.0);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(SimDuration(r.u64()?))
+    }
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
 

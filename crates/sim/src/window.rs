@@ -113,6 +113,39 @@ impl TailWindow {
     }
 }
 
+impl rhythm_snapshot::Snapshot for TailWindow {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        self.slot_len.encode(w);
+        w.u64(self.slots.len() as u64);
+        for slot in &self.slots {
+            w.u64(slot.epoch);
+            slot.hist.encode(w);
+        }
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let slot_len = SimDuration::decode(r)?;
+        if slot_len.is_zero() {
+            return Err(rhythm_snapshot::SnapshotError::Corrupt(
+                "tail window slot length must be positive".into(),
+            ));
+        }
+        let n = r.len(8)?;
+        if n == 0 {
+            return Err(rhythm_snapshot::SnapshotError::Corrupt(
+                "tail window needs at least one slot".into(),
+            ));
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let epoch = r.u64()?;
+            let hist = LatencyHistogram::decode(r)?;
+            slots.push(Slot { epoch, hist });
+        }
+        Ok(TailWindow { slot_len, slots })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +207,26 @@ mod tests {
         w.reset();
         assert_eq!(w.count(secs(1)), 0);
         assert_eq!(w.quantile(secs(1), 0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_keeps_live_samples() {
+        use rhythm_snapshot::{Reader, Snapshot, Writer};
+        let mut w = TailWindow::new(SimDuration::from_secs(10), 5);
+        w.record(secs(1), 10.0);
+        w.record(secs(4), 30.0);
+        let mut buf = Writer::new();
+        w.encode(&mut buf);
+        let bytes = buf.into_bytes();
+        let r = TailWindow::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(r.count(secs(5)), w.count(secs(5)));
+        assert_eq!(
+            r.quantile(secs(5), 0.99).to_bits(),
+            w.quantile(secs(5), 0.99).to_bits()
+        );
+        let mut buf2 = Writer::new();
+        r.encode(&mut buf2);
+        assert_eq!(buf2.into_bytes(), bytes);
     }
 
     #[test]

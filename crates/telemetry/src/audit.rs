@@ -105,6 +105,55 @@ impl Trigger {
     }
 }
 
+impl rhythm_snapshot::Snapshot for BeSnapshot {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u32(self.instances);
+        w.u32(self.running);
+        w.u32(self.cores);
+        w.u32(self.llc_ways);
+        w.u32(self.freq_mhz);
+        w.u32(self.net_mbps);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(BeSnapshot {
+            instances: r.u32()?,
+            running: r.u32()?,
+            cores: r.u32()?,
+            llc_ways: r.u32()?,
+            freq_mhz: r.u32()?,
+            net_mbps: r.u32()?,
+        })
+    }
+}
+
+impl rhythm_snapshot::Snapshot for Trigger {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u8(match self {
+            Trigger::SlaViolated => 0,
+            Trigger::LoadAboveLimit => 1,
+            Trigger::SlackBelowHalfLimit => 2,
+            Trigger::SlackBelowLimit => 3,
+            Trigger::ComfortableSlack => 4,
+        });
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(match r.u8()? {
+            0 => Trigger::SlaViolated,
+            1 => Trigger::LoadAboveLimit,
+            2 => Trigger::SlackBelowHalfLimit,
+            3 => Trigger::SlackBelowLimit,
+            4 => Trigger::ComfortableSlack,
+            t => {
+                return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                    "unknown trigger tag {t}"
+                )))
+            }
+        })
+    }
+}
+
 /// One controller decision with its full causal context.
 #[derive(Clone, Debug)]
 pub struct AuditRecord {
@@ -210,9 +259,74 @@ impl AuditRecord {
     }
 }
 
+impl rhythm_snapshot::Snapshot for AuditRecord {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.f64(self.t_s);
+        w.u32(self.machine);
+        w.str(&self.pod);
+        self.action.encode(w);
+        self.trigger.encode(w);
+        w.f64(self.load);
+        w.f64(self.loadlimit);
+        w.f64(self.slack);
+        w.f64(self.slacklimit);
+        w.f64(self.tail_ms);
+        w.f64(self.sla_ms);
+        self.hot_pod.encode(w);
+        w.str(&self.hot_pod_name);
+        w.f64(self.hot_pod_ms);
+        self.before.encode(w);
+        self.after.encode(w);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(AuditRecord {
+            t_s: r.f64()?,
+            machine: r.u32()?,
+            pod: r.str()?,
+            action: rhythm_snapshot::Snapshot::decode(r)?,
+            trigger: rhythm_snapshot::Snapshot::decode(r)?,
+            load: r.f64()?,
+            loadlimit: r.f64()?,
+            slack: r.f64()?,
+            slacklimit: r.f64()?,
+            tail_ms: r.f64()?,
+            sla_ms: r.f64()?,
+            hot_pod: rhythm_snapshot::Snapshot::decode(r)?,
+            hot_pod_name: r.str()?,
+            hot_pod_ms: r.f64()?,
+            before: rhythm_snapshot::Snapshot::decode(r)?,
+            after: rhythm_snapshot::Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_round_trips_full_record() {
+        use rhythm_snapshot::{Reader, Snapshot, Writer};
+        let rec = sample();
+        let mut w = Writer::new();
+        rec.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = AuditRecord::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.pod, rec.pod);
+        assert_eq!(back.action, rec.action);
+        assert_eq!(back.trigger, rec.trigger);
+        assert_eq!(back.hot_pod, rec.hot_pod);
+        assert_eq!(back.before, rec.before);
+        assert_eq!(back.after, rec.after);
+        assert_eq!(back.why(), rec.why());
+        // Re-encoding the decoded record is bit-identical.
+        let mut w2 = Writer::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
 
     #[test]
     fn classify_mirrors_algorithm_2_ladder() {

@@ -73,9 +73,81 @@ impl ClusterEvent {
     }
 }
 
+impl rhythm_snapshot::Snapshot for ClusterEventKind {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u8(match self {
+            ClusterEventKind::GangFormed => 0,
+            ClusterEventKind::GangAborted => 1,
+            ClusterEventKind::DeadlineMiss => 2,
+            ClusterEventKind::ShardSteal => 3,
+        });
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(match r.u8()? {
+            0 => ClusterEventKind::GangFormed,
+            1 => ClusterEventKind::GangAborted,
+            2 => ClusterEventKind::DeadlineMiss,
+            3 => ClusterEventKind::ShardSteal,
+            t => {
+                return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                    "unknown cluster event kind {t}"
+                )))
+            }
+        })
+    }
+}
+
+impl rhythm_snapshot::Snapshot for ClusterEvent {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.f64(self.t_s);
+        self.kind.encode(w);
+        w.u64(self.job);
+        self.gang.encode(w);
+        self.shard.encode(w);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(ClusterEvent {
+            t_s: r.f64()?,
+            kind: rhythm_snapshot::Snapshot::decode(r)?,
+            job: r.u64()?,
+            gang: rhythm_snapshot::Snapshot::decode(r)?,
+            shard: rhythm_snapshot::Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_round_trips_cluster_events() {
+        use rhythm_snapshot::{Reader, Snapshot, Writer};
+        let events = vec![
+            ClusterEvent {
+                t_s: 12.0,
+                kind: ClusterEventKind::GangFormed,
+                job: 7,
+                gang: Some(3),
+                shard: Some(2),
+            },
+            ClusterEvent {
+                t_s: 30.0,
+                kind: ClusterEventKind::DeadlineMiss,
+                job: 9,
+                gang: None,
+                shard: None,
+            },
+        ];
+        let mut w = Writer::new();
+        events.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back: Vec<ClusterEvent> =
+            rhythm_snapshot::Snapshot::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back, events);
+    }
 
     #[test]
     fn renders_compact_jsonl_object() {

@@ -180,6 +180,151 @@ impl EventKind {
     }
 }
 
+impl rhythm_snapshot::Snapshot for ActionCode {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u8(self.severity());
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let code = r.u8()?;
+        if code > 4 {
+            return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                "unknown action severity {code}"
+            )));
+        }
+        Ok(ActionCode::from_severity(code))
+    }
+}
+
+impl rhythm_snapshot::Snapshot for AdjustKind {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u8(match self {
+            AdjustKind::BeInstances => 0,
+            AdjustKind::BeCores => 1,
+            AdjustKind::BeLlcWays => 2,
+            AdjustKind::BeFreqMhz => 3,
+            AdjustKind::BeNetMbps => 4,
+        });
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(match r.u8()? {
+            0 => AdjustKind::BeInstances,
+            1 => AdjustKind::BeCores,
+            2 => AdjustKind::BeLlcWays,
+            3 => AdjustKind::BeFreqMhz,
+            4 => AdjustKind::BeNetMbps,
+            t => {
+                return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                    "unknown adjust kind {t}"
+                )))
+            }
+        })
+    }
+}
+
+impl rhythm_snapshot::Snapshot for EventKind {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        match *self {
+            EventKind::RequestAdmitted => w.u8(0),
+            EventKind::RequestCompleted { latency_us } => {
+                w.u8(1);
+                w.u32(latency_us);
+            }
+            EventKind::BeAdmitted { machine, instance } => {
+                w.u8(2);
+                w.u16(machine);
+                w.u32(instance);
+            }
+            EventKind::BeKilled {
+                machine,
+                instance,
+                progress_pct,
+            } => {
+                w.u8(3);
+                w.u16(machine);
+                w.u32(instance);
+                w.u8(progress_pct);
+            }
+            EventKind::Action {
+                machine,
+                action,
+                load_pm,
+                slack_pm,
+            } => {
+                w.u8(4);
+                w.u16(machine);
+                action.encode(w);
+                w.u16(load_pm);
+                w.i16(slack_pm);
+            }
+            EventKind::Adjust {
+                machine,
+                kind,
+                value,
+            } => {
+                w.u8(5);
+                w.u16(machine);
+                kind.encode(w);
+                w.i32(value);
+            }
+            EventKind::Epoch { epoch } => {
+                w.u8(6);
+                w.u32(epoch);
+            }
+        }
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(match r.u8()? {
+            0 => EventKind::RequestAdmitted,
+            1 => EventKind::RequestCompleted {
+                latency_us: r.u32()?,
+            },
+            2 => EventKind::BeAdmitted {
+                machine: r.u16()?,
+                instance: r.u32()?,
+            },
+            3 => EventKind::BeKilled {
+                machine: r.u16()?,
+                instance: r.u32()?,
+                progress_pct: r.u8()?,
+            },
+            4 => EventKind::Action {
+                machine: r.u16()?,
+                action: rhythm_snapshot::Snapshot::decode(r)?,
+                load_pm: r.u16()?,
+                slack_pm: r.i16()?,
+            },
+            5 => EventKind::Adjust {
+                machine: r.u16()?,
+                kind: rhythm_snapshot::Snapshot::decode(r)?,
+                value: r.i32()?,
+            },
+            6 => EventKind::Epoch { epoch: r.u32()? },
+            t => {
+                return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                    "unknown event kind tag {t}"
+                )))
+            }
+        })
+    }
+}
+
+impl rhythm_snapshot::Snapshot for Event {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.u64(self.t_ns);
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(Event {
+            t_ns: r.u64()?,
+            kind: rhythm_snapshot::Snapshot::decode(r)?,
+        })
+    }
+}
+
 /// Saturating per-mille encoding of a fraction (used by the Action
 /// event).
 pub fn per_mille_u16(x: f64) -> u16 {
@@ -269,6 +414,75 @@ mod tests {
         assert_eq!(per_mille_u16(1e9), u16::MAX);
         assert_eq!(per_mille_i16(-0.25), -250);
         assert_eq!(per_mille_i16(-1e9), i16::MIN);
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_variant() {
+        use rhythm_snapshot::{Reader, Snapshot, Writer};
+        let events = [
+            Event {
+                t_ns: 1,
+                kind: EventKind::RequestAdmitted,
+            },
+            Event {
+                t_ns: 2,
+                kind: EventKind::RequestCompleted { latency_us: 900 },
+            },
+            Event {
+                t_ns: 3,
+                kind: EventKind::BeAdmitted {
+                    machine: 4,
+                    instance: 17,
+                },
+            },
+            Event {
+                t_ns: 4,
+                kind: EventKind::BeKilled {
+                    machine: 1,
+                    instance: 2,
+                    progress_pct: 63,
+                },
+            },
+            Event {
+                t_ns: 5,
+                kind: EventKind::Action {
+                    machine: 0,
+                    action: ActionCode::SuspendBe,
+                    load_pm: 710,
+                    slack_pm: -40,
+                },
+            },
+            Event {
+                t_ns: 6,
+                kind: EventKind::Adjust {
+                    machine: 2,
+                    kind: AdjustKind::BeFreqMhz,
+                    value: -100,
+                },
+            },
+            Event {
+                t_ns: 7,
+                kind: EventKind::Epoch { epoch: 12 },
+            },
+        ];
+        let mut w = Writer::new();
+        for ev in &events {
+            ev.encode(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for ev in &events {
+            assert_eq!(Event::decode(&mut r).unwrap(), *ev);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_tags() {
+        use rhythm_snapshot::{Reader, Snapshot, SnapshotError};
+        let bytes = [9u8; 9]; // t_ns then tag 9
+        let decoded = Event::decode(&mut Reader::new(&bytes));
+        assert!(matches!(decoded.err(), Some(SnapshotError::Corrupt(_))));
     }
 
     #[test]

@@ -45,6 +45,22 @@ pub mod export;
 pub mod recorder;
 pub mod tail;
 
+/// Layout description of every [`rhythm_snapshot::Snapshot`] impl in this
+/// crate. Hashed into snapshot files; **bump the text whenever an encoding
+/// here changes shape** so stale snapshots are refused instead of
+/// misdecoded.
+pub const SNAPSHOT_SCHEMA: &str = "rhythm-telemetry/v1: \
+     Event=(t_ns:u64,kind:tagged) EventKind=tag:u8+payload ActionCode=severity:u8 \
+     AdjustKind=tag:u8 BeSnapshot=6xu32 Trigger=tag:u8 \
+     AuditRecord=(t_s,machine,pod,action,trigger,load,loadlimit,slack,slacklimit,\
+     tail_ms,sla_ms,hot_pod:Option<u32>,hot_pod_name,hot_pod_ms,before,after) \
+     TailPoint=(t_s:f64,count:u64,p50:f64,p95:f64,p99:f64,slack:f64) \
+     TailSeries=(window,last_window,points:[TailPoint]) \
+     TelemetryConfig=(enabled:bool,ring_capacity:u64,audit:bool,tail:bool) \
+     FlightRecorder=(enabled:bool,cap:u64,seq:u64,buf:[Event] raw slot order) \
+     Telemetry=(cfg,recorder,audit:[AuditRecord],tail) \
+     ClusterEventKind=tag:u8 ClusterEvent=(t_s:f64,kind,job:u64,gang:Option<u32>,shard:Option<u32>)";
+
 pub use audit::{AuditRecord, BeSnapshot, Trigger};
 pub use cluster::{ClusterEvent, ClusterEventKind};
 pub use event::{per_mille_i16, per_mille_u16, ActionCode, AdjustKind, Event, EventKind};

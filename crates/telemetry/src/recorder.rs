@@ -175,6 +175,82 @@ impl FlightRecorder {
     }
 }
 
+impl rhythm_snapshot::Snapshot for TelemetryConfig {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.bool(self.enabled);
+        w.u64(self.ring_capacity as u64);
+        w.bool(self.audit);
+        w.bool(self.tail);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(TelemetryConfig {
+            enabled: r.bool()?,
+            ring_capacity: r.u64()? as usize,
+            audit: r.bool()?,
+            tail: r.bool()?,
+        })
+    }
+}
+
+// The ring is serialised raw (slot order, not age order) together with
+// `seq`, so a restored recorder that has already wrapped keeps writing
+// into exactly the slot the straight-through run would have used — the
+// byte-identity contract survives eviction.
+impl rhythm_snapshot::Snapshot for FlightRecorder {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.bool(self.enabled);
+        w.u64(self.cap as u64);
+        w.u64(self.seq);
+        self.buf.encode(w);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let enabled = r.bool()?;
+        let cap = r.u64()? as usize;
+        let seq = r.u64()?;
+        let buf: Vec<Event> = rhythm_snapshot::Snapshot::decode(r)?;
+        if cap == 0 {
+            return Err(rhythm_snapshot::SnapshotError::Corrupt(
+                "flight recorder capacity is zero".into(),
+            ));
+        }
+        let expected = if enabled { seq.min(cap as u64) as usize } else { 0 };
+        if buf.len() != expected {
+            return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                "flight recorder holds {} events, expected {expected} (cap {cap}, seq {seq})",
+                buf.len()
+            )));
+        }
+        let mut buf = buf;
+        buf.reserve_exact(cap - buf.len());
+        Ok(FlightRecorder {
+            enabled,
+            buf,
+            cap,
+            seq,
+        })
+    }
+}
+
+impl rhythm_snapshot::Snapshot for Telemetry {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        self.cfg.encode(w);
+        self.recorder.encode(w);
+        self.audit.encode(w);
+        self.tail.encode(w);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(Telemetry {
+            cfg: rhythm_snapshot::Snapshot::decode(r)?,
+            recorder: rhythm_snapshot::Snapshot::decode(r)?,
+            audit: rhythm_snapshot::Snapshot::decode(r)?,
+            tail: rhythm_snapshot::Snapshot::decode(r)?,
+        })
+    }
+}
+
 /// The per-engine telemetry bundle: recorder + audit trail + tail
 /// series. The engine owns one and threads it through its event
 /// handlers; [`Telemetry::into_output`] freezes it into the run output.
@@ -294,6 +370,62 @@ mod tests {
         assert_eq!(r.capacity(), 1);
         assert_eq!(r.events().len(), 1);
         assert_eq!(r.events()[0].t_ns, 2);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_wrapped_ring() {
+        use rhythm_snapshot::{Reader, Snapshot, Writer};
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            r.record(at(i), EventKind::Epoch { epoch: i as u32 });
+        }
+        let mut w = Writer::new();
+        r.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = FlightRecorder::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.recorded(), 10);
+        assert_eq!(back.events(), r.events());
+        // Continuation writes land in the same slots as the original.
+        back.record(at(10), EventKind::RequestAdmitted);
+        r.record(at(10), EventKind::RequestAdmitted);
+        assert_eq!(back.events(), r.events());
+        let mut wa = Writer::new();
+        let mut wb = Writer::new();
+        back.encode(&mut wa);
+        r.encode(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
+    }
+
+    #[test]
+    fn snapshot_rejects_inconsistent_ring() {
+        use rhythm_snapshot::{Reader, Snapshot, SnapshotError, Writer};
+        let mut r = FlightRecorder::new(4);
+        r.record(at(1), EventKind::RequestAdmitted);
+        let mut w = Writer::new();
+        w.bool(true);
+        w.u64(4); // cap
+        w.u64(3); // seq claims 3 events recorded...
+        r.events().encode(&mut w); // ...but only 1 is present
+        let bytes = w.into_bytes();
+        let decoded = FlightRecorder::decode(&mut Reader::new(&bytes));
+        assert!(matches!(decoded.err(), Some(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn telemetry_snapshot_round_trips() {
+        use rhythm_snapshot::{Reader, Snapshot, Writer};
+        let mut t = Telemetry::new(TelemetryConfig::full());
+        t.recorder.record(at(5), EventKind::RequestAdmitted);
+        t.record_latency(12.0);
+        t.tail.tick(2.0, 100.0);
+        let mut w = Writer::new();
+        t.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = Telemetry::decode(&mut Reader::new(&bytes)).unwrap();
+        assert!(back.enabled() && back.audit_enabled() && back.tail_enabled());
+        let out = back.into_output(vec!["front".into()]).unwrap();
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.tail.len(), 1);
     }
 
     #[test]

@@ -137,6 +137,44 @@ impl Default for TailSeries {
     }
 }
 
+impl rhythm_snapshot::Snapshot for TailPoint {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        w.f64(self.t_s);
+        w.u64(self.count);
+        w.f64(self.p50_ms);
+        w.f64(self.p95_ms);
+        w.f64(self.p99_ms);
+        w.f64(self.slack);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(TailPoint {
+            t_s: r.f64()?,
+            count: r.u64()?,
+            p50_ms: r.f64()?,
+            p95_ms: r.f64()?,
+            p99_ms: r.f64()?,
+            slack: r.f64()?,
+        })
+    }
+}
+
+impl rhythm_snapshot::Snapshot for TailSeries {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        self.window.encode(w);
+        self.last_window.encode(w);
+        self.points.encode(w);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(TailSeries {
+            window: rhythm_snapshot::Snapshot::decode(r)?,
+            last_window: rhythm_snapshot::Snapshot::decode(r)?,
+            points: rhythm_snapshot::Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +231,34 @@ mod tests {
         }
         s.tick(2.0, 100.0);
         assert!(s.points()[0].slack < 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_keeps_open_window_and_points() {
+        use rhythm_snapshot::{Reader, Snapshot, Writer};
+        let mut s = TailSeries::new();
+        for _ in 0..50 {
+            s.record(10.0);
+        }
+        s.tick(2.0, 100.0);
+        for _ in 0..7 {
+            s.record(42.0);
+        }
+        let mut w = Writer::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = TailSeries::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.points(), s.points());
+        assert_eq!(back.last_window().count(), 50);
+        // The open window resumes mid-stream: closing it sees the 7
+        // latencies recorded before the snapshot.
+        back.tick(4.0, 100.0);
+        assert_eq!(back.points()[1].count, 7);
+        // Re-encode of the restored series is bit-identical.
+        let mut w2 = Writer::new();
+        let restored = TailSeries::decode(&mut Reader::new(&bytes)).unwrap();
+        restored.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
     }
 
     #[test]

@@ -264,6 +264,75 @@ impl BeSpec {
     }
 }
 
+impl rhythm_snapshot::Snapshot for BeKind {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        let (tag, big) = match self {
+            BeKind::CpuStress => (0, false),
+            BeKind::StreamLlc { big } => (1, *big),
+            BeKind::StreamDram { big } => (2, *big),
+            BeKind::Iperf => (3, false),
+            BeKind::Wordcount => (4, false),
+            BeKind::ImageClassify => (5, false),
+            BeKind::Lstm => (6, false),
+        };
+        w.u8(tag);
+        w.bool(big);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        let tag = r.u8()?;
+        let big = r.bool()?;
+        Ok(match tag {
+            0 => BeKind::CpuStress,
+            1 => BeKind::StreamLlc { big },
+            2 => BeKind::StreamDram { big },
+            3 => BeKind::Iperf,
+            4 => BeKind::Wordcount,
+            5 => BeKind::ImageClassify,
+            6 => BeKind::Lstm,
+            t => {
+                return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
+                    "unknown BeKind tag {t}"
+                )))
+            }
+        })
+    }
+}
+
+impl rhythm_snapshot::Snapshot for BeSpec {
+    fn encode(&self, w: &mut rhythm_snapshot::Writer) {
+        self.kind.encode(w);
+        w.str(&self.name);
+        w.f64(self.cpu_pressure_per_core);
+        w.f64(self.llc_pressure_per_core);
+        w.f64(self.dram_pressure_per_core);
+        w.f64(self.net_demand_mbps);
+        w.u64(self.mem_mb);
+        w.u32(self.llc_ways_wanted);
+        w.f64(self.cpu_bound);
+        w.f64(self.cache_penalty);
+        w.u32(self.solo_cores);
+        w.f64(self.job_seconds);
+    }
+
+    fn decode(r: &mut rhythm_snapshot::Reader<'_>) -> Result<Self, rhythm_snapshot::SnapshotError> {
+        Ok(BeSpec {
+            kind: BeKind::decode(r)?,
+            name: r.str()?,
+            cpu_pressure_per_core: r.f64()?,
+            llc_pressure_per_core: r.f64()?,
+            dram_pressure_per_core: r.f64()?,
+            net_demand_mbps: r.f64()?,
+            mem_mb: r.u64()?,
+            llc_ways_wanted: r.u32()?,
+            cpu_bound: r.f64()?,
+            cache_penalty: r.f64()?,
+            solo_cores: r.u32()?,
+            job_seconds: r.f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,6 +33,15 @@ pub mod loadgen;
 pub mod sensitivity;
 pub mod service;
 
+/// Layout description of every [`rhythm_snapshot::Snapshot`] impl in this
+/// crate. Hashed into snapshot files; **bump the text whenever an encoding
+/// here changes shape** so stale snapshots are refused instead of
+/// misdecoded.
+pub const SNAPSHOT_SCHEMA: &str = "rhythm-workloads/v1: \
+     BeKind=(tag:u8,big:bool) \
+     BeSpec=(kind,name:str,cpu_p:f64,llc_p:f64,dram_p:f64,net:f64,mem_mb:u64,\
+     ways_wanted:u32,cpu_bound:f64,cache_penalty:f64,solo_cores:u32,job_seconds:f64)";
+
 pub use be::{BeKind, BeSpec};
 pub use component::ComponentSpec;
 pub use loadgen::LoadGen;

@@ -1,12 +1,14 @@
 //! Cluster demo: a 16-machine e-commerce cluster with a shared BE
-//! backlog, Rhythm vs Heracles.
+//! backlog, Rhythm vs Heracles, plus a snapshot → resume round trip.
 //!
 //! Four replicas of the 4-Servpod e-commerce service run at 85% load
 //! while the cluster dispatcher places batch jobs (interference-score
 //! policy) on machines whose controllers signal AllowBEGrowth. Jobs
 //! killed by StopBE roll back to their last checkpoint and requeue, so
 //! the run reports completion times and wasted work, not just
-//! throughput.
+//! throughput. The demo then reruns the Rhythm cell with a mid-run
+//! epoch-barrier snapshot, resumes it from the serialized bytes, and
+//! shows the continuation is bit-identical to the straight-through run.
 //!
 //! ```text
 //! cargo run --release --example cluster_demo
@@ -46,4 +48,30 @@ fn main() {
     }
     let gain = (rhythm.metrics.emu / heracles.metrics.emu - 1.0) * 100.0;
     println!("\nRhythm EMU improvement over Heracles: {gain:+.1}%");
+
+    // Durable state: capture the Rhythm run at the half-way epoch
+    // barrier, serialize it, and resume from the bytes. The resumed
+    // half must land on exactly the machine fingerprints the
+    // straight-through run produced — snapshots are checkpoints, not
+    // approximations.
+    let capture_epoch = 90;
+    println!("\nsnapshotting the Rhythm cell at epoch {capture_epoch} and resuming ...");
+    let run = ClusterRunner::new(&ctx, &ControllerChoice::Rhythm, &cfg)
+        .snapshot_at(capture_epoch)
+        .run();
+    let bytes = run.snapshots[0].1.to_bytes();
+    let snap = ClusterSnapshot::from_bytes(&bytes).expect("snapshot bytes round-trip");
+    let resumed = ClusterRunner::resume(&snap, &ctx, &ControllerChoice::Rhythm, &cfg)
+        .expect("snapshot matches its config")
+        .run();
+    assert_eq!(
+        resumed.outcome.fingerprints, rhythm.fingerprints,
+        "resumed run diverged from the straight-through run"
+    );
+    println!(
+        "resume OK: {} bytes at epoch {capture_epoch}, fingerprint {:#018x}, \
+         continuation bit-identical to the straight-through run",
+        bytes.len(),
+        snap.fingerprint()
+    );
 }

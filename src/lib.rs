@@ -40,6 +40,7 @@ pub use rhythm_interference as interference;
 pub use rhythm_lint as lint;
 pub use rhythm_machine as machine;
 pub use rhythm_sim as sim;
+pub use rhythm_snapshot as snapshot;
 pub use rhythm_telemetry as telemetry;
 pub use rhythm_tracer as tracer;
 pub use rhythm_workloads as workloads;
@@ -58,7 +59,9 @@ pub mod prelude {
     };
     pub use rhythm_interference::{InterferenceModel, Pressure};
     pub use rhythm_machine::{Allocation, Machine, MachineSpec};
+    pub use rhythm_cluster::{ClusterRun, ClusterRunner, ClusterSnapshot};
     pub use rhythm_sim::{LatencyHistogram, SimDuration, SimRng, SimTime};
+    pub use rhythm_snapshot::{Snapshot, SnapshotError, SnapshotFile};
     pub use rhythm_telemetry::{
         chrome_trace, export_jsonl, AuditRecord, ClusterEvent, ClusterEventKind, FlightRecorder,
         TailPoint, Telemetry, TelemetryConfig, TelemetryOutput,

@@ -107,6 +107,23 @@ fn hetero_cluster_run() -> ClusterOutcome {
     run_cluster(&ctx, &ControllerChoice::Rhythm, &c)
 }
 
+/// The durable-state fixture: a 64-machine, 4-shard run snapshotted at
+/// epoch 5. The container bytes cover the codec layout, every engine's
+/// RNG/calendar/arena state and the full sharded scheduler, so the byte
+/// fingerprint pins all of them at once.
+fn snapshot_run() -> ClusterSnapshot {
+    let ctx = ServiceContext::prepare(apps::solr(), &[BeSpec::of(BeKind::Wordcount)], 11);
+    let mut c = ClusterConfig::new(64).with_scaled_jobs(0.02);
+    c.duration_s = 20;
+    c.load = LoadGen::constant(0.5);
+    c.shards = 4;
+    c.threads = 2;
+    let mut run = ClusterRunner::new(&ctx, &ControllerChoice::Rhythm, &c)
+        .snapshot_at(5)
+        .run();
+    run.snapshots.remove(0).1
+}
+
 /// Flattens a cluster outcome the same way: the per-machine FNV
 /// fingerprints already cover every engine stream, so the merged
 /// metrics and job ledger are appended on top.
@@ -155,6 +172,12 @@ fn print_fingerprints() {
         "const HETERO_CLUSTER: &[u64] = &{:?};",
         cluster_fingerprint(&hetero_cluster_run())
     );
+    let snap = snapshot_run();
+    println!(
+        "const SNAPSHOT_N64_K4_E5: (u64, usize) = ({:#018x}, {});",
+        snap.fingerprint(),
+        snap.to_bytes().len()
+    );
 }
 
 include!("fixtures/golden_fixtures.rs");
@@ -177,4 +200,11 @@ fn managed_metrics_bit_identical() {
 #[test]
 fn hetero_cluster_bit_identical() {
     assert_eq!(cluster_fingerprint(&hetero_cluster_run()), HETERO_CLUSTER);
+}
+
+#[test]
+fn snapshot_bytes_bit_identical() {
+    let snap = snapshot_run();
+    let len = snap.to_bytes().len();
+    assert_eq!((snap.fingerprint(), len), SNAPSHOT_N64_K4_E5);
 }

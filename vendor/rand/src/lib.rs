@@ -205,6 +205,28 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for mid-stream checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a captured [`StdRng::state`]. The
+        /// restored stream continues exactly where the captured one
+        /// stood. An all-zero state (never produced by a live xoshiro
+        /// generator) is remapped the same way `from_seed` remaps it.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            if s == [0, 0, 0, 0] {
+                let mut bytes = [0u8; 32];
+                for (i, word) in s.iter().enumerate() {
+                    bytes[i * 8..i * 8 + 8].copy_from_slice(&word.to_le_bytes());
+                }
+                return StdRng::from_seed(bytes);
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
