@@ -4,7 +4,7 @@
 //! repro <id> [...]   # one or more of: tab1 fig02 fig06 fig07 fig08
 //!                    #   fig09 fig10 fig11 fig12 fig13 fig14
 //!                    #   fig15 fig16 fig17 fig18 tab2 ablate cluster
-//!                    #   trace lint
+//!                    #   chaos trace lint
 //! repro all          # everything (reuses the Figures 9-14 grid)
 //! repro --json <id>  # print the JSON document instead of text tables
 //! repro cluster --hetero  # heterogeneous 4-machine cell instead of the
@@ -51,6 +51,7 @@ fn main() -> std::io::Result<()> {
             "fig18+tab2",
             "ablate",
             "cluster",
+            "chaos",
             "trace",
             "lint",
         ]
@@ -101,6 +102,7 @@ fn main() -> std::io::Result<()> {
             "ablate" => b::ablate::run()?,
             "cluster" if hetero => b::cluster::run_hetero()?,
             "cluster" => b::cluster::run()?,
+            "chaos" => b::chaos::run()?,
             "trace" => b::trace::run()?,
             "lint" => b::lint::run()?,
             other => {

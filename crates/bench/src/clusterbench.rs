@@ -1,7 +1,7 @@
 //! Cluster runner scaling harness.
 //!
-//! Two grids plus a snapshot-cost probe, one report
-//! (`BENCH_cluster.json`, schema v2):
+//! Two grids plus two cost probes, one report
+//! (`BENCH_cluster.json`, schema v3):
 //!
 //! * **Thread sweep** — times `run_cluster` wall-clock on the 16-machine
 //!   cell at worker-thread counts {1, 2, 4, 8}. Because cluster results
@@ -20,6 +20,11 @@
 //! * **Snapshot overhead** — the N=256 cell with and without one
 //!   mid-run epoch-barrier capture ([`rhythm_cluster::ClusterRunner`]),
 //!   reported as `snapshot_overhead.overhead_frac` (target < 0.05).
+//! * **Chaos overhead** — the N=256 cell with an empty
+//!   [`rhythm_cluster::FaultPlan`] versus a small crash/straggler plan,
+//!   reported as `chaos_overhead.overhead_frac` (target < 0.02): fault
+//!   injection rides the existing epoch barriers, so a handful of
+//!   machine-lifecycle events must be noise against the run itself.
 //!
 //! ```text
 //! cargo run --release --bin cluster_bench            # -> BENCH_cluster.json
@@ -226,6 +231,58 @@ fn snapshot_overhead(quick: bool) -> serde_json::Value {
     })
 }
 
+/// Fault-injection cost: the N=256 cell with an empty plan versus a
+/// small crash/recover/straggler plan, best-of-`reps` wall clock each.
+/// The faults are applied single-threaded at barriers the runner
+/// already takes, so the target is tight: < 2% of the run. (The two
+/// runs simulate different clusters — the faulted one really loses
+/// machines — so this probe compares wall clock only.)
+fn chaos_overhead(quick: bool) -> serde_json::Value {
+    let n = 256;
+    let ctx = crate::cluster::context(0xC1);
+    let mut cfg = crate::cluster::cell_config(n, 0xC1);
+    cfg.duration_s = if quick { 60 } else { 120 };
+    let mid = cfg.duration_s as f64 / 2.0;
+    let mut faulted = cfg.clone();
+    faulted.faults = rhythm_cluster::FaultPlan::new()
+        .crash(mid - 10.0, 3)
+        .slow_node(mid - 5.0, 7, 0.6)
+        .correlated(mid, vec![11, 12])
+        .recover(mid + 10.0, 3)
+        .recover(mid + 10.0, 7)
+        .recover(mid + 12.0, 11)
+        .recover(mid + 12.0, 12);
+    let reps = 2;
+    // Warm-up run (first touch pays page faults and lazy init).
+    let _ = run_cluster(&ctx, &ControllerChoice::Rhythm, &cfg);
+    let mut plain = f64::INFINITY;
+    let mut chaos = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let _ = run_cluster(&ctx, &ControllerChoice::Rhythm, &cfg);
+        plain = plain.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        let _ = run_cluster(&ctx, &ControllerChoice::Rhythm, &faulted);
+        chaos = chaos.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let overhead_frac = chaos / plain - 1.0;
+    println!(
+        "chaos overhead N={n}: plain {plain:.1} ms, with {} fault events {chaos:.1} ms \
+         ({:+.2}%)",
+        faulted.faults.len(),
+        overhead_frac * 100.0
+    );
+    serde_json::json!({
+        "machines": n,
+        "duration_s": cfg.duration_s,
+        "fault_events": faulted.faults.len(),
+        "reps": reps,
+        "wall_ms_plain": plain,
+        "wall_ms_with_faults": chaos,
+        "overhead_frac": overhead_frac,
+    })
+}
+
 /// Runs both grids and writes the JSON report. Returns the path.
 pub fn run(quick: bool) -> std::io::Result<PathBuf> {
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -238,14 +295,16 @@ pub fn run(quick: bool) -> std::io::Result<PathBuf> {
     let sweep = thread_sweep(quick, host_cpus);
     let grid = scaling_grid(quick);
     let snapshot = snapshot_overhead(quick);
+    let chaos = chaos_overhead(quick);
 
     let report = serde_json::json!({
-        "schema": "rhythm-cluster-bench/v2",
+        "schema": "rhythm-cluster-bench/v3",
         "quick": quick,
         "host_cpus": host_cpus,
         "thread_sweep": sweep,
         "scaling_grid": grid,
         "snapshot_overhead": snapshot,
+        "chaos_overhead": chaos,
     });
     let dir = std::env::var("RHYTHM_BENCH_DIR")
         .map(PathBuf::from)

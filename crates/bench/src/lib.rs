@@ -18,6 +18,7 @@
 //! | [`tab1`] | Table 1 — workload inventory |
 //! | [`ablate`] | ablations of Rhythm's design choices |
 //! | [`cluster`] | cluster-level Rhythm vs Heracles at N ∈ {4, 16, 64} |
+//! | [`chaos`] | chaos campaign: trace-shaped load + fault injection |
 //! | [`trace`] | telemetry exports of one traced cluster run |
 //! | [`lint`] | rhythm-lint determinism & invariant pass over the workspace |
 // The workspace is unsafe-free; lock that in at the crate root. If a
@@ -27,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablate;
+pub mod chaos;
 pub mod cluster;
 pub mod clusterbench;
 pub mod colocation;

@@ -16,6 +16,10 @@
 //!   interference-score (predicted LC inflation via the calibrated
 //!   `rhythm-interference` sensitivities), and hetero-aware
 //!   (capacity-normalized with gang straggler penalties);
+//! * [`fault`] — deterministic fault injection: a [`FaultPlan`] of
+//!   crash / recover / slow-node / correlated-failure events keyed to
+//!   virtual time, applied single-threaded at epoch barriers so chaos
+//!   runs stay bit-identical for any shard or thread count;
 //! * [`state`] — the N-machine cluster as service replicas, global
 //!   machine indexing, per-replica seed derivation;
 //! * [`runner`] — the parallel epoch-barrier runner: engines advance one
@@ -33,6 +37,7 @@
 // `// SAFETY:` comment (rhythm-lint rule U01 enforces the comment).
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod placement;
@@ -60,6 +65,7 @@ pub const SNAPSHOT_SCHEMA: &str = "rhythm-cluster/v1: \
      ClusterSnapshot{meta:{epoch:u32,t_ns,machines,pods,replicas,shards,seed,duration_s,\
      controller_period_ms:u64,managed:bool},sections:[meta,scheduler,engines,summaries,tail]}";
 
+pub use fault::{ChaosState, FaultEvent, FaultKind, FaultPlan};
 pub use job::{ClusterJob, JobId, JobSpec, JobState, JobStats};
 pub use metrics::{
     machine_fingerprints, ClusterMetrics, ClusterOutcome, ClusterTelemetry, ShardingReport,
@@ -68,6 +74,7 @@ pub use placement::{CandidateMachine, PlacementPolicy, Placer};
 pub use queue::{JobQueue, QueueKey, SeqSource};
 pub use runner::{compare_cluster, run_cluster, ClusterRun, ClusterRunner};
 pub use snapshot::{
-    expected_schemas, ClusterSnapshot, GangState, SchedulerState, ShardState, SnapshotDiff,
+    expected_schemas, ChaosSection, ClusterSnapshot, GangState, SchedulerState, ShardState,
+    SnapshotDiff,
 };
 pub use state::{global_index, machine_ref, replica_seed, ClusterConfig, MachineRef, ShardMap};

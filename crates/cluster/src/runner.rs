@@ -63,6 +63,7 @@
 //!
 //! [`QueueKey`]: crate::queue::QueueKey
 
+use crate::fault::{ChaosState, FaultKind, FaultPlan};
 use crate::job::{ClusterJob, JobId, JobState};
 use crate::metrics::{
     machine_fingerprints, ClusterMetrics, ClusterOutcome, ClusterTelemetry, ShardingReport,
@@ -205,6 +206,11 @@ struct Scheduler<'c> {
     catalog: BTreeMap<String, BeSpec>,
     /// Gang id → tracker, for every gang entry of the plan.
     gangs: BTreeMap<u32, GangTracker>,
+    /// The normalized fault schedule (empty when no chaos is
+    /// configured; never mutated after construction).
+    plan: FaultPlan,
+    /// Dynamic fault state: plan cursor + the set of down machines.
+    chaos: ChaosState,
     /// Scheduler events (gang lifecycle, deadline misses, steals),
     /// emission order. Only populated when telemetry is enabled.
     events: Vec<ClusterEvent>,
@@ -312,6 +318,12 @@ impl<'c> Scheduler<'c> {
             ),
             catalog: cfg.catalog(),
             gangs,
+            plan: {
+                let mut plan = cfg.faults.clone();
+                plan.normalize();
+                plan
+            },
+            chaos: ChaosState::default(),
             events: Vec::new(),
             steals: 0,
             fast_path_epochs: 0,
@@ -356,6 +368,132 @@ impl<'c> Scheduler<'c> {
         self.shards[self.map.home_shard(jid)]
             .queue
             .requeue_at_seq(jid, now_s, seq);
+    }
+
+    /// Applies every fault-plan event due at this barrier, in plan
+    /// order. Runs single-threaded at the top of the epoch (before
+    /// dispatch), so fault application is as deterministic as every
+    /// other barrier mutation: same plan + same seed → same outcome
+    /// for any shard count and any worker-thread count.
+    fn apply_faults(&mut self, engines: &mut [MutexGuard<'_, Engine>], now_s: f64) {
+        while (self.chaos.applied as usize) < self.plan.events.len() {
+            let ev = &self.plan.events[self.chaos.applied as usize];
+            if ev.at_s > now_s {
+                break;
+            }
+            let idx = self.chaos.applied;
+            let kind = ev.kind.clone();
+            self.chaos.applied += 1;
+            if self.cfg.telemetry.enabled {
+                self.events.push(ClusterEvent {
+                    t_s: now_s,
+                    kind: ClusterEventKind::FaultInjected,
+                    job: idx,
+                    gang: None,
+                    shard: None,
+                });
+            }
+            match kind {
+                FaultKind::MachineCrash { machine } => {
+                    self.crash_machine(machine as usize, engines, now_s);
+                }
+                FaultKind::MachineRecover { machine } => {
+                    self.recover_machine(machine as usize, engines, now_s);
+                }
+                FaultKind::SlowNode { machine, factor } => {
+                    let r = machine_ref(machine as usize, self.pods);
+                    let target = (factor * engines[r.replica].lc_max_mhz(r.pod) as f64) as u32;
+                    engines[r.replica].set_lc_frequency(r.pod, target);
+                }
+                FaultKind::CorrelatedFailure { group } => {
+                    for m in group {
+                        self.crash_machine(m as usize, engines, now_s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Takes machine `g` out of the cluster: withdraws its outstanding
+    /// offer, kills every bound BE instance through the ordinary
+    /// checkpoint-rollback-requeue path (a killed gang member aborts
+    /// its gang atomically) and adds the machine to the down set, which
+    /// blocks dispatch eligibility until recovery. The LC service is
+    /// modeled as failing over invisibly — the cost of a crash is lost
+    /// batch work plus redistribution pressure on the survivors.
+    fn crash_machine(&mut self, g: usize, engines: &mut [MutexGuard<'_, Engine>], now_s: f64) {
+        if !self.chaos.down.insert(g as u64) {
+            return; // already down
+        }
+        let si = self.map.shard_of_global(g);
+        let r = machine_ref(g, self.pods);
+        if let Some(jid) = self.shards[si].offer_slot(g).take() {
+            engines[r.replica].set_be_offer(r.pod, None);
+            self.jobs[jid as usize].state = JobState::Queued;
+            // A solitary job goes straight back to its queue; a forming
+            // gang keeps waiting on its patience budget and the gang
+            // pass aborts (and requeues) it when that runs out.
+            if self.jobs[jid as usize].gang.is_none() {
+                self.requeue_home(jid, now_s);
+            }
+        }
+        let range = (g, BeInstanceId::MIN)..(g + 1, BeInstanceId::MIN);
+        let bound: Vec<(BeInstanceId, JobId)> = self.shards[si]
+            .bindings
+            .range(range)
+            .map(|(&(_, inst), &jid)| (inst, jid))
+            .collect();
+        let mut dirty_gangs: BTreeSet<u32> = BTreeSet::new();
+        for (inst, jid) in bound {
+            // Progress was synced to the boundary before the barrier,
+            // so the rollback banks exactly what ran.
+            let progress = engines[r.replica].be_progress(r.pod, inst).unwrap_or(0.0);
+            engines[r.replica].remove_be(r.pod, inst);
+            self.shards[si].bindings.remove(&(g, inst));
+            if self.jobs[jid as usize].total_progress(progress) >= 1.0 {
+                self.complete(jid, now_s);
+            } else {
+                let job = &mut self.jobs[jid as usize];
+                job.on_kill(progress, self.cfg.checkpoint_fraction);
+                match job.gang {
+                    Some(gid) => {
+                        dirty_gangs.insert(gid);
+                    }
+                    None => self.requeue_home(jid, now_s),
+                }
+            }
+        }
+        for gid in dirty_gangs {
+            self.abort_gang(gid, engines, now_s);
+        }
+        if self.cfg.telemetry.enabled {
+            self.events.push(ClusterEvent {
+                t_s: now_s,
+                kind: ClusterEventKind::MachineDown,
+                job: g as u64,
+                gang: None,
+                shard: Some(si as u32),
+            });
+        }
+    }
+
+    /// Brings machine `g` back: removes it from the down set and
+    /// restores its LC frequency to the ceiling (clearing straggler
+    /// state), making it eligible for offers at this same barrier.
+    fn recover_machine(&mut self, g: usize, engines: &mut [MutexGuard<'_, Engine>], now_s: f64) {
+        self.chaos.down.remove(&(g as u64));
+        let r = machine_ref(g, self.pods);
+        let max = engines[r.replica].lc_max_mhz(r.pod);
+        engines[r.replica].set_lc_frequency(r.pod, max);
+        if self.cfg.telemetry.enabled {
+            self.events.push(ClusterEvent {
+                t_s: now_s,
+                kind: ClusterEventKind::MachineUp,
+                job: g as u64,
+                gang: None,
+                shard: Some(self.map.shard_of_global(g) as u32),
+            });
+        }
     }
 
     /// Epoch step 1: withdraw unconsumed solitary offers, then place
@@ -409,6 +547,7 @@ impl<'c> Scheduler<'c> {
             sh.ranked.clear();
             for g in sh.globals.clone() {
                 if sh.offered[g - sh.globals.start].is_none()
+                    && (self.chaos.down.is_empty() || !self.chaos.down.contains(&(g as u64)))
                     && allows_growth(engines, g, self.pods)
                 {
                     sh.eligible.push(g);
@@ -864,6 +1003,10 @@ impl<'c> Scheduler<'c> {
                 .collect(),
             summaries: engines.iter().map(|e| e.snapshot_summary()).collect(),
             cluster_tail: cluster_tail.to_vec(),
+            chaos: (!self.plan.is_empty()).then(|| crate::snapshot::ChaosSection {
+                plan_fp: self.plan.fingerprint(),
+                state: self.chaos.clone(),
+            }),
         }
     }
 }
@@ -975,6 +1118,7 @@ struct ResumeState {
     engines: Vec<Engine>,
     scheduler: SchedulerState,
     cluster_tail: Vec<TailPoint>,
+    chaos: Option<ChaosState>,
 }
 
 /// A configurable cluster run: [`run_cluster`] plus snapshot capture at
@@ -1018,6 +1162,9 @@ impl<'a> ClusterRunner<'a> {
             cfg.machine_specs.len(),
             cfg.machines
         );
+        if let Err(why) = cfg.faults.validate(cfg.machines) {
+            panic!("invalid fault plan: {why}");
+        }
         ClusterRunner {
             ctx,
             choice,
@@ -1082,6 +1229,25 @@ impl<'a> ClusterRunner<'a> {
                 });
             }
         }
+        // The fault plan shapes every decision after its first event, so
+        // a resumed run must carry exactly the plan the snapshot ran
+        // under — present/absent and fingerprint both checked.
+        let plan_fp = {
+            let mut plan = cfg.faults.clone();
+            plan.normalize();
+            (!plan.is_empty()).then(|| plan.fingerprint())
+        };
+        let snap_fp = snapshot.chaos.as_ref().map(|c| c.plan_fp);
+        if plan_fp != snap_fp {
+            let word = |fp: Option<u64>| match fp {
+                Some(fp) => format!("fault plan {fp:#018x}"),
+                None => "no fault plan".to_string(),
+            };
+            return Err(SnapshotError::Incompatible {
+                expected: word(plan_fp),
+                found: word(snap_fp),
+            });
+        }
         let horizon_epochs = {
             let epoch_ms = cfg.controller_period_ms.max(100);
             cfg.duration_s * 1000 / epoch_ms
@@ -1104,6 +1270,7 @@ impl<'a> ClusterRunner<'a> {
                 engines,
                 scheduler: snapshot.scheduler.clone(),
                 cluster_tail: snapshot.cluster_tail.clone(),
+                chaos: snapshot.chaos.as_ref().map(|c| c.state.clone()),
             }),
             ..runner
         })
@@ -1172,23 +1339,26 @@ impl<'a> ClusterRunner<'a> {
         let replicas = cfg.machines / pods;
         let managed = !matches!(self.choice, ControllerChoice::Solo);
 
-        let (engines, start_epoch, start_t, tail0, resume_sched) = match self.resume.take() {
-            Some(rs) => (
-                rs.engines,
-                rs.epoch,
-                SimTime::from_nanos(rs.t_ns),
-                rs.cluster_tail,
-                Some(rs.scheduler),
-            ),
-            None => (
-                self.build_engines(None)
-                    .expect("fresh engine construction is infallible"),
-                0,
-                SimTime::ZERO,
-                Vec::new(),
-                None,
-            ),
-        };
+        let (engines, start_epoch, start_t, tail0, resume_sched, resume_chaos) =
+            match self.resume.take() {
+                Some(rs) => (
+                    rs.engines,
+                    rs.epoch,
+                    SimTime::from_nanos(rs.t_ns),
+                    rs.cluster_tail,
+                    Some(rs.scheduler),
+                    rs.chaos,
+                ),
+                None => (
+                    self.build_engines(None)
+                        .expect("fresh engine construction is infallible"),
+                    0,
+                    SimTime::ZERO,
+                    Vec::new(),
+                    None,
+                    None,
+                ),
+            };
 
         let map = ShardMap::new(replicas, pods, cfg.shards);
         let mut sched = Scheduler::new(cfg, pods, map, managed);
@@ -1196,6 +1366,9 @@ impl<'a> ClusterRunner<'a> {
             sched
                 .restore_state(st)
                 .expect("scheduler state validated by resume()");
+        }
+        if let Some(chaos) = resume_chaos {
+            sched.chaos = chaos;
         }
 
         let epoch = SimDuration::from_millis(cfg.controller_period_ms.max(100));
@@ -1262,11 +1435,19 @@ impl<'a> ClusterRunner<'a> {
 
             let mut t = start_t;
             let mut epoch_idx: u32 = start_epoch;
+            let have_faults = !sched.plan.is_empty();
             while t < end {
-                if managed {
+                if managed || have_faults {
                     let mut guards: Vec<MutexGuard<'_, Engine>> =
                         slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
-                    sched.dispatch(&mut guards, t.as_secs_f64());
+                    // Faults first: a machine crashing at this barrier
+                    // must not receive an offer in the same pass.
+                    if have_faults {
+                        sched.apply_faults(&mut guards, t.as_secs_f64());
+                    }
+                    if managed {
+                        sched.dispatch(&mut guards, t.as_secs_f64());
+                    }
                 }
                 let next = (t + epoch).min(end);
                 run_to(next);
@@ -1620,6 +1801,95 @@ mod tests {
         // cannot continue under it.
         assert!(matches!(
             ClusterRunner::resume(snap, &ctx, &ControllerChoice::Solo, &c).err(),
+            Some(SnapshotError::Incompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn faults_emit_events_and_apply_in_order() {
+        let ctx = ctx();
+        let mut c = small_cfg();
+        c.machines = 8;
+        c.duration_s = 60;
+        c.telemetry = rhythm_telemetry::TelemetryConfig::full();
+        c.faults = FaultPlan::new()
+            .crash(10.0, 2)
+            .slow_node(10.0, 5, 0.6)
+            .recover(30.0, 2)
+            .correlated(40.0, vec![6, 7]);
+        let out = run_cluster(&ctx, &ControllerChoice::Rhythm, &c);
+        let t = out.telemetry.as_ref().expect("telemetry enabled");
+        let count = |kind: ClusterEventKind| {
+            t.cluster_events.iter().filter(|e| e.kind == kind).count()
+        };
+        assert_eq!(count(ClusterEventKind::FaultInjected), 4, "every plan event fired");
+        assert_eq!(count(ClusterEventKind::MachineDown), 3, "crash + 2 correlated");
+        assert_eq!(count(ClusterEventKind::MachineUp), 1);
+        let down: Vec<u64> = t
+            .cluster_events
+            .iter()
+            .filter(|e| e.kind == ClusterEventKind::MachineDown)
+            .map(|e| e.job)
+            .collect();
+        assert_eq!(down, vec![2, 6, 7], "machine index rides in the job field");
+        assert!(out.metrics.completed_requests > 0, "cluster survives the chaos");
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_refused() {
+        let ctx = ctx();
+        let mut c = small_cfg();
+        c.faults = FaultPlan::new().crash(10.0, 99);
+        let result = std::panic::catch_unwind(|| {
+            run_cluster(&ctx, &ControllerChoice::Rhythm, &c);
+        });
+        assert!(result.is_err(), "out-of-range machine index panics at construction");
+    }
+
+    #[test]
+    fn chaos_resume_is_bit_identical_and_plan_checked() {
+        // Crash at 16 s, snapshot at epoch 10 (20 s) — while machine 3
+        // is down — recover at 36 s: the resumed run must replay the
+        // recovery and end bit-identical to the uninterrupted one.
+        let ctx = ctx();
+        let mut c = small_cfg();
+        c.machines = 8;
+        c.duration_s = 60;
+        c.telemetry = rhythm_telemetry::TelemetryConfig::full();
+        c.faults = FaultPlan::new().crash(16.0, 3).recover(36.0, 3);
+        let straight = run_cluster(&ctx, &ControllerChoice::Rhythm, &c);
+
+        let run = ClusterRunner::new(&ctx, &ControllerChoice::Rhythm, &c)
+            .snapshot_at(10)
+            .run();
+        assert_outcomes_identical(&straight, &run.outcome, "capturing chaos run");
+        let (_, snap) = &run.snapshots[0];
+        let chaos = snap.chaos.as_ref().expect("chaos section present");
+        assert_eq!(chaos.state.applied, 1, "crash applied, recovery pending");
+        assert!(chaos.state.down.contains(&3));
+
+        let bytes = snap.to_bytes();
+        let snap = ClusterSnapshot::from_bytes(&bytes).expect("chaos snapshot parses");
+        assert_eq!(snap.to_bytes(), bytes, "re-encode is byte-identical");
+
+        let mut c4 = c.clone();
+        c4.threads = 4;
+        let resumed = ClusterRunner::resume(&snap, &ctx, &ControllerChoice::Rhythm, &c4)
+            .expect("matching plan resumes")
+            .run();
+        assert_outcomes_identical(&straight, &resumed.outcome, "resumed chaos run");
+
+        // A different plan — or no plan at all — is refused.
+        let mut other = c.clone();
+        other.faults = FaultPlan::new().crash(16.0, 4).recover(36.0, 4);
+        assert!(matches!(
+            ClusterRunner::resume(&snap, &ctx, &ControllerChoice::Rhythm, &other).err(),
+            Some(SnapshotError::Incompatible { .. })
+        ));
+        let mut none = c.clone();
+        none.faults = FaultPlan::new();
+        assert!(matches!(
+            ClusterRunner::resume(&snap, &ctx, &ControllerChoice::Rhythm, &none).err(),
             Some(SnapshotError::Incompatible { .. })
         ));
     }

@@ -20,6 +20,7 @@
 //!
 //! [`Engine::snapshot_encode`]: rhythm_core::runtime::Engine::snapshot_encode
 
+use crate::fault::{ChaosState, CHAOS_SECTION_VERSION};
 use crate::job::{ClusterJob, JobId, JobState};
 use crate::queue::{JobQueue, SeqSource};
 use rhythm_core::runtime::EngineSummary;
@@ -186,6 +187,23 @@ impl Snapshot for SchedulerState {
     }
 }
 
+/// Fault-injection state carried in the snapshot's **optional**
+/// `chaos` section: the fingerprint of the configured [`FaultPlan`]
+/// (so resume refuses a different plan) plus the runner's dynamic
+/// [`ChaosState`]. Present only when the run was configured with a
+/// non-empty plan — a chaos-free run's container is byte-identical to
+/// the pre-chaos format, which keeps the golden container fixture and
+/// every archived snapshot valid.
+///
+/// [`FaultPlan`]: crate::fault::FaultPlan
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosSection {
+    /// FNV-1a fingerprint of the **normalized** fault plan.
+    pub plan_fp: u64,
+    /// Plan cursor + down set at the capturing barrier.
+    pub state: ChaosState,
+}
+
 /// A resumable image of one cluster run at an epoch barrier.
 #[derive(Clone, Debug)]
 pub struct ClusterSnapshot {
@@ -218,6 +236,9 @@ pub struct ClusterSnapshot {
     pub summaries: Vec<EngineSummary>,
     /// The merged cluster tail series collected so far.
     pub cluster_tail: Vec<TailPoint>,
+    /// Fault-injection state (`None` when the run has no fault plan;
+    /// see [`ChaosSection`]).
+    pub chaos: Option<ChaosSection>,
 }
 
 impl ClusterSnapshot {
@@ -252,6 +273,17 @@ impl ClusterSnapshot {
         let mut tail = Writer::new();
         self.cluster_tail.encode(&mut tail);
         b.section("tail", tail);
+        if let Some(chaos) = &self.chaos {
+            // Optional trailing section: absent for chaos-free runs, so
+            // their container bytes match the pre-chaos format exactly.
+            // The leading version byte lets the chaos wire format evolve
+            // independently of the v1 container layout.
+            let mut w = Writer::new();
+            w.u8(CHAOS_SECTION_VERSION);
+            w.u64(chaos.plan_fp);
+            chaos.state.encode(&mut w);
+            b.section("chaos", w);
+        }
         b.finish()
     }
 
@@ -308,6 +340,23 @@ impl ClusterSnapshot {
             cluster_tail = Snapshot::decode(r)?;
             Ok(())
         })?;
+        let mut chaos: Option<ChaosSection> = None;
+        if file.section_names().any(|n| n == "chaos") {
+            read("chaos", &mut |r| {
+                let version = r.u8()?;
+                if version != CHAOS_SECTION_VERSION {
+                    return Err(SnapshotError::Incompatible {
+                        expected: format!("chaos section v{CHAOS_SECTION_VERSION}"),
+                        found: format!("chaos section v{version}"),
+                    });
+                }
+                chaos = Some(ChaosSection {
+                    plan_fp: r.u64()?,
+                    state: Snapshot::decode(r)?,
+                });
+                Ok(())
+            })?;
+        }
         let scheduler = scheduler.expect("scheduler section read");
         if pods == 0 || replicas == 0 || machines != replicas * pods {
             return Err(SnapshotError::Corrupt(format!(
@@ -327,6 +376,13 @@ impl ClusterSnapshot {
                 scheduler.shards.len()
             )));
         }
+        if let Some(c) = &chaos {
+            if let Some(&bad) = c.state.down.iter().find(|&&m| m >= machines) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "chaos down set lists machine {bad}, cluster has {machines}"
+                )));
+            }
+        }
         Ok(ClusterSnapshot {
             epoch,
             t_ns,
@@ -342,6 +398,7 @@ impl ClusterSnapshot {
             engines,
             summaries,
             cluster_tail,
+            chaos,
         })
     }
 
@@ -374,6 +431,30 @@ impl ClusterSnapshot {
             other.controller_period_ms.to_string(),
         );
         meta("managed", self.managed.to_string(), other.managed.to_string());
+        match (&self.chaos, &other.chaos) {
+            (Some(a), Some(b)) => {
+                if a.plan_fp != b.plan_fp {
+                    d.push(format!(
+                        "chaos: plan fingerprint {:#018x} vs {:#018x}",
+                        a.plan_fp, b.plan_fp
+                    ));
+                }
+                if a.state.applied != b.state.applied {
+                    d.push(format!(
+                        "chaos: {} vs {} fault events applied",
+                        a.state.applied, b.state.applied
+                    ));
+                }
+                if a.state.down != b.state.down {
+                    d.push(format!(
+                        "chaos: down set {:?} vs {:?}",
+                        a.state.down, b.state.down
+                    ));
+                }
+            }
+            (None, None) => {}
+            _ => d.push("chaos: fault state present on one side only".to_string()),
+        }
         self.diff_scheduler(other, &mut d);
         self.diff_engines(other, &mut d);
         if self.cluster_tail.len() != other.cluster_tail.len() {

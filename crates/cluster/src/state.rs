@@ -7,6 +7,7 @@
 //! RNG streams); the cluster layer addresses machines by a **global
 //! index** `replica * pods + pod`.
 
+use crate::fault::FaultPlan;
 use crate::job::JobSpec;
 use crate::placement::PlacementPolicy;
 use rhythm_machine::MachineSpec;
@@ -185,6 +186,11 @@ pub struct ClusterConfig {
     /// Epochs a forming gang may wait for all of its instances to be
     /// admitted before the dispatcher aborts and requeues it.
     pub gang_patience_epochs: u32,
+    /// Deterministic fault-injection schedule, applied at epoch
+    /// barriers. Empty (the default) injects nothing and leaves the
+    /// run — including its snapshot bytes — identical to a
+    /// pre-chaos build.
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -214,6 +220,7 @@ impl ClusterConfig {
             priority_preemption: false,
             queue_aging_s: None,
             gang_patience_epochs: 4,
+            faults: FaultPlan::new(),
         }
     }
 

@@ -596,6 +596,24 @@ impl Engine {
         &self.service
     }
 
+    /// Sets the LC DVFS operating point of machine `i` to `mhz`
+    /// (snapped to the domain grid, clamped to its range) and refreshes
+    /// interference inflations immediately, so the new frequency is in
+    /// effect from the barrier that requested it. The cluster fault
+    /// injector uses this for slow-node (straggler) faults and their
+    /// recovery; returns the realized frequency.
+    pub fn set_lc_frequency(&mut self, i: usize, mhz: u32) -> u32 {
+        let realized = self.deployment.machines[i].lc_dvfs.set_mhz(mhz);
+        self.refresh_inflations();
+        realized
+    }
+
+    /// The LC DVFS ceiling of machine `i`, for restoring a slowed
+    /// machine to full speed.
+    pub fn lc_max_mhz(&self, i: usize) -> u32 {
+        self.deployment.machines[i].lc_dvfs.max_mhz()
+    }
+
     /// The controller's most recent action on machine `i` (None in
     /// Solo/Static modes or before the first control period).
     pub fn last_action(&self, i: usize) -> Option<BeAction> {

@@ -40,6 +40,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "machine",
     "controller",
     "cluster",
+    "chaos",
     "telemetry",
     "tracer",
     "analyzer",

@@ -23,6 +23,17 @@ pub enum ClusterEventKind {
     /// A job queued in one scheduler shard was placed on a machine of
     /// another shard at the epoch barrier (cross-shard work stealing).
     ShardSteal,
+    /// A machine left the cluster (fault injection): its BE work was
+    /// killed and requeued. For machine events the `job` field carries
+    /// the **global machine index**, not a job id.
+    MachineDown,
+    /// A crashed machine rejoined the cluster and is again eligible for
+    /// BE placement. `job` carries the global machine index.
+    MachineUp,
+    /// A fault-plan event fired at this barrier (one record per plan
+    /// entry, in addition to any per-machine down/up records). `job`
+    /// carries the plan-event index.
+    FaultInjected,
 }
 
 impl ClusterEventKind {
@@ -33,6 +44,9 @@ impl ClusterEventKind {
             ClusterEventKind::GangAborted => "gang_aborted",
             ClusterEventKind::DeadlineMiss => "deadline_miss",
             ClusterEventKind::ShardSteal => "shard_steal",
+            ClusterEventKind::MachineDown => "machine_down",
+            ClusterEventKind::MachineUp => "machine_up",
+            ClusterEventKind::FaultInjected => "fault_injected",
         }
     }
 }
@@ -80,6 +94,9 @@ impl rhythm_snapshot::Snapshot for ClusterEventKind {
             ClusterEventKind::GangAborted => 1,
             ClusterEventKind::DeadlineMiss => 2,
             ClusterEventKind::ShardSteal => 3,
+            ClusterEventKind::MachineDown => 4,
+            ClusterEventKind::MachineUp => 5,
+            ClusterEventKind::FaultInjected => 6,
         });
     }
 
@@ -89,6 +106,9 @@ impl rhythm_snapshot::Snapshot for ClusterEventKind {
             1 => ClusterEventKind::GangAborted,
             2 => ClusterEventKind::DeadlineMiss,
             3 => ClusterEventKind::ShardSteal,
+            4 => ClusterEventKind::MachineDown,
+            5 => ClusterEventKind::MachineUp,
+            6 => ClusterEventKind::FaultInjected,
             t => {
                 return Err(rhythm_snapshot::SnapshotError::Corrupt(format!(
                     "unknown cluster event kind {t}"
@@ -137,6 +157,27 @@ mod tests {
                 t_s: 30.0,
                 kind: ClusterEventKind::DeadlineMiss,
                 job: 9,
+                gang: None,
+                shard: None,
+            },
+            ClusterEvent {
+                t_s: 42.0,
+                kind: ClusterEventKind::MachineDown,
+                job: 5, // machine index for machine events
+                gang: None,
+                shard: Some(1),
+            },
+            ClusterEvent {
+                t_s: 60.0,
+                kind: ClusterEventKind::MachineUp,
+                job: 5,
+                gang: None,
+                shard: Some(1),
+            },
+            ClusterEvent {
+                t_s: 42.0,
+                kind: ClusterEventKind::FaultInjected,
+                job: 0, // plan-event index for fault records
                 gang: None,
                 shard: None,
             },

@@ -76,6 +76,81 @@ impl LoadGen {
         LoadGen::Trace { samples, interval }
     }
 
+    /// Synthesizes a clean diurnal sinusoid-plus-noise curve, the
+    /// trace shape of the Alibaba characterization studies (arXiv
+    /// 1808.02919): load oscillates between `trough` and `peak` with
+    /// `days` full cycles over `total`, with multiplicative noise of
+    /// relative width `noise` (e.g. 0.05 = ±5%) drawn from the
+    /// deterministic sim RNG. Unlike [`LoadGen::clarknet_like`] there
+    /// are no bursts and no per-day jitter, so chaos scenarios can
+    /// overlay their own anomalies (see
+    /// [`LoadGen::with_flash_crowd`]) on a known-smooth baseline.
+    pub fn diurnal(
+        days: u32,
+        total: SimDuration,
+        intervals: usize,
+        trough: f64,
+        peak: f64,
+        noise: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(days > 0 && intervals > 0, "need at least one day/interval");
+        assert!(trough <= peak, "trough {trough} above peak {peak}");
+        let mut rng = SimRng::from_seed(seed).split("diurnal");
+        let trough = trough.clamp(0.02, 1.0);
+        let peak = peak.clamp(trough, 1.0);
+        let noise = noise.clamp(0.0, 0.5);
+        let mid = 0.5 * (trough + peak);
+        let amp = 0.5 * (peak - trough);
+        let mut samples = Vec::with_capacity(intervals);
+        for i in 0..intervals {
+            let phase = i as f64 / intervals as f64 * days as f64 * std::f64::consts::TAU;
+            // Trough at t=0 ("night"), peak mid-cycle.
+            let mut v = mid - amp * phase.cos();
+            v *= rng.uniform_range(1.0 - noise, 1.0 + noise);
+            samples.push(v.clamp(0.02, 1.0));
+        }
+        let interval = SimDuration::from_nanos((total.as_nanos() / intervals as u64).max(1));
+        LoadGen::Trace { samples, interval }
+    }
+
+    /// Overlays a flash crowd on a trace: a sudden multiplicative
+    /// spike of `magnitude` (e.g. 1.8 = +80% traffic) starting at
+    /// fraction `start_frac` of the cycle, ramping linearly back to
+    /// the underlying curve over `ramp_intervals` steps. Values cap at
+    /// [`LoadGen::OVERLOAD_CAP`] — flash crowds are exactly the moments
+    /// a service is pushed past its planned capacity. A no-op on
+    /// constant load (no cycle to anchor the spike to).
+    pub fn with_flash_crowd(
+        mut self,
+        start_frac: f64,
+        magnitude: f64,
+        ramp_intervals: usize,
+    ) -> LoadGen {
+        if let LoadGen::Trace { samples, .. } = &mut self {
+            let n = samples.len();
+            if n > 0 && magnitude > 1.0 {
+                let start = ((start_frac.clamp(0.0, 1.0) * n as f64) as usize).min(n - 1);
+                let ramp = ramp_intervals.max(1);
+                for k in 0..=ramp {
+                    let Some(slot) = samples.get_mut(start + k) else {
+                        break;
+                    };
+                    // Full magnitude at the spike front, back to 1× at
+                    // the end of the ramp.
+                    let m = 1.0 + (magnitude - 1.0) * (1.0 - k as f64 / ramp as f64);
+                    *slot = (*slot * m).min(Self::OVERLOAD_CAP);
+                }
+            }
+        }
+        self
+    }
+
+    /// The ceiling [`LoadGen::with_flash_crowd`] may push load to:
+    /// modest overload past MaxLoad, the regime flash-crowd scenarios
+    /// exist to probe.
+    pub const OVERLOAD_CAP: f64 = 1.2;
+
     /// The load fraction at virtual time `t`.
     pub fn fraction_at(&self, t: SimTime) -> f64 {
         match self {
@@ -202,6 +277,102 @@ mod tests {
             let r = rhythm_sim::pearson(&xs, &ys);
             assert!(r > 0.7, "diurnal correlation r={r}");
         }
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_and_bounded() {
+        let total = SimDuration::from_secs(4 * 1000);
+        let a = LoadGen::diurnal(4, total, 400, 0.2, 0.9, 0.05, 13);
+        let b = LoadGen::diurnal(4, total, 400, 0.2, 0.9, 0.05, 13);
+        let (LoadGen::Trace { samples: sa, .. }, LoadGen::Trace { samples: sb, .. }) = (&a, &b)
+        else {
+            panic!("expected traces");
+        };
+        assert_eq!(sa, sb);
+        for &s in sa {
+            assert!((0.02..=1.0).contains(&s), "s={s}");
+        }
+        // Different seed, different noise realization.
+        let c = LoadGen::diurnal(4, total, 400, 0.2, 0.9, 0.05, 14);
+        let LoadGen::Trace { samples: sc, .. } = &c else {
+            panic!("expected trace");
+        };
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn diurnal_periodicity_and_range() {
+        let total = SimDuration::from_secs(4 * 1000);
+        let g = LoadGen::diurnal(4, total, 400, 0.2, 0.9, 0.05, 13);
+        let LoadGen::Trace { ref samples, .. } = g else {
+            panic!("expected trace");
+        };
+        // Samples one "day" apart correlate strongly.
+        let day = 100;
+        let xs: Vec<f64> = samples[..samples.len() - day].to_vec();
+        let ys: Vec<f64> = samples[day..].to_vec();
+        let r = rhythm_sim::pearson(&xs, &ys);
+        assert!(r > 0.9, "diurnal correlation r={r}");
+        // Covers (roughly) the requested trough..peak band.
+        assert!(g.peak_fraction() > 0.8);
+        let trough = samples.iter().copied().fold(1.0, f64::min);
+        assert!(trough < 0.3, "trough={trough}");
+    }
+
+    #[test]
+    fn flash_crowd_spikes_then_ramps_down() {
+        let total = SimDuration::from_secs(1000);
+        let base = LoadGen::diurnal(1, total, 100, 0.3, 0.5, 0.0, 1);
+        let LoadGen::Trace {
+            samples: ref before,
+            ..
+        } = base
+        else {
+            panic!("expected trace");
+        };
+        let before = before.clone();
+        let spiked = base.clone().with_flash_crowd(0.5, 1.8, 10);
+        let LoadGen::Trace { ref samples, .. } = spiked else {
+            panic!("expected trace");
+        };
+        // Untouched before the spike.
+        assert_eq!(&samples[..50], &before[..50]);
+        // Spike front is magnified (or capped at the overload ceiling).
+        let want = (before[50] * 1.8).min(LoadGen::OVERLOAD_CAP);
+        assert!((samples[50] - want).abs() < 1e-12, "front={}", samples[50]);
+        assert!(samples[50] > before[50]);
+        // Multiplier decays monotonically back to 1× across the ramp.
+        for k in 50..60 {
+            let m0 = samples[k] / before[k];
+            let m1 = samples[k + 1] / before[k + 1];
+            assert!(m1 <= m0 + 1e-12, "ramp not monotone at {k}");
+        }
+        assert!((samples[60] - before[60]).abs() < 1e-12);
+        assert_eq!(&samples[61..], &before[61..]);
+        // Determinism composes: same base + same overlay = same trace.
+        let again = LoadGen::diurnal(1, total, 100, 0.3, 0.5, 0.0, 1).with_flash_crowd(0.5, 1.8, 10);
+        let LoadGen::Trace { samples: s2, .. } = again else {
+            panic!("expected trace");
+        };
+        assert_eq!(samples, &s2);
+    }
+
+    #[test]
+    fn flash_crowd_noop_on_constant_and_clamps() {
+        let g = LoadGen::constant(0.5).with_flash_crowd(0.2, 2.0, 5);
+        assert_eq!(g.fraction_at(SimTime::ZERO), 0.5);
+        // Magnitude <= 1 is a no-op on traces too.
+        let total = SimDuration::from_secs(100);
+        let base = LoadGen::diurnal(1, total, 10, 0.4, 0.6, 0.0, 2);
+        let same = base.clone().with_flash_crowd(0.0, 1.0, 3);
+        let (LoadGen::Trace { samples: a, .. }, LoadGen::Trace { samples: b, .. }) = (&base, &same)
+        else {
+            panic!("expected traces");
+        };
+        assert_eq!(a, b);
+        // Heavy spikes never exceed the overload cap.
+        let spiked = base.with_flash_crowd(0.9, 10.0, 3);
+        assert!(spiked.peak_fraction() <= LoadGen::OVERLOAD_CAP);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub use rhythm_analyzer as analyzer;
+pub use rhythm_chaos as chaos;
 pub use rhythm_cluster as cluster;
 pub use rhythm_controller as controller;
 pub use rhythm_core as core;
@@ -48,9 +49,14 @@ pub use rhythm_workloads as workloads;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use rhythm_analyzer::{contributions, find_loadlimit, find_slacklimits, SojournProfile};
+    pub use rhythm_chaos::{
+        crash_restart, heavy_tailed_plan, outcome_fingerprint, recovery_time, JobSizeDist,
+        Recovery, RestartCheck, Scenario, ScenarioOutcome,
+    };
     pub use rhythm_cluster::{
         compare_cluster, run_cluster, ClusterConfig, ClusterMetrics, ClusterOutcome,
-        ClusterTelemetry, JobSpec, PlacementPolicy, ShardMap, ShardingReport,
+        ClusterTelemetry, FaultKind, FaultPlan, JobSpec, PlacementPolicy, ShardMap,
+        ShardingReport,
     };
     pub use rhythm_controller::{BeAction, ThresholdPolicy, Thresholds};
     pub use rhythm_core::experiment::{ControllerChoice, ExperimentConfig, ServiceContext};

@@ -124,6 +124,27 @@ fn snapshot_run() -> ClusterSnapshot {
     run.snapshots.remove(0).1
 }
 
+/// The chaos campaign: one outcome fingerprint per scenario of the
+/// library `repro chaos` runs (8 machines = two e-commerce replicas,
+/// seed 0xCA05). Pins the trace-shaped load generators (diurnal +
+/// flash crowd), the heavy-tailed job plans and the fault injector in
+/// one sweep — including the crash-restart drill, whose fingerprint is
+/// the *resumed* run's.
+fn chaos_campaign() -> Vec<u64> {
+    let ctx = ServiceContext::prepare(
+        apps::ecommerce(),
+        &[
+            BeSpec::of(BeKind::Wordcount),
+            BeSpec::of(BeKind::StreamDram { big: true }),
+        ],
+        0xCA05,
+    );
+    Scenario::library(8, 0xCA05)
+        .iter()
+        .map(|s| s.run(&ctx, &ControllerChoice::Rhythm).fingerprint)
+        .collect()
+}
+
 /// Flattens a cluster outcome the same way: the per-machine FNV
 /// fingerprints already cover every engine stream, so the merged
 /// metrics and job ledger are appended on top.
@@ -178,6 +199,7 @@ fn print_fingerprints() {
         snap.fingerprint(),
         snap.to_bytes().len()
     );
+    println!("const CHAOS_CAMPAIGN: &[u64] = &{:?};", chaos_campaign());
 }
 
 include!("fixtures/golden_fixtures.rs");
@@ -207,4 +229,9 @@ fn snapshot_bytes_bit_identical() {
     let snap = snapshot_run();
     let len = snap.to_bytes().len();
     assert_eq!((snap.fingerprint(), len), SNAPSHOT_N64_K4_E5);
+}
+
+#[test]
+fn chaos_campaign_bit_identical() {
+    assert_eq!(chaos_campaign(), CHAOS_CAMPAIGN);
 }

@@ -6,10 +6,19 @@
 //! safety under arbitrary controller action sequences, and the cluster
 //! queue's EDF-within-priority total order (with aging anti-starvation
 //! and class preservation across StopBE requeues).
+//!
+//! The final block runs whole cluster simulations per case (capped via
+//! `proptest_config`) and checks the chaos invariants of DESIGN.md §13:
+//! any fault plan leaves the run bit-reproducible across shard and
+//! worker-thread layouts, and the job ledger's recovery accounting
+//! never wastes more than one checkpoint interval per kill.
 
 use proptest::prelude::*;
-use rhythm::cluster::JobQueue;
+use rhythm::cluster::{run_cluster, ClusterConfig, FaultPlan, JobQueue, JobState};
+use rhythm::core::experiment::{ControllerChoice, ServiceContext};
 use rhythm::sim::SimRng;
+use rhythm::workloads::{apps, BeKind, BeSpec, LoadGen};
+use std::sync::OnceLock;
 use rhythm::analyzer::find_loadlimit;
 use rhythm::analyzer::slacklimit::find_slacklimits;
 use rhythm::machine::{Allocation, Machine, MachineSpec};
@@ -588,5 +597,129 @@ proptest! {
                 "restored RNG diverged from the original stream"
             );
         }
+    }
+}
+
+/// One shared profiled context for the cluster-level fault properties
+/// (Algorithm 1 dominates the wall-clock; profile once).
+fn fault_ctx() -> &'static ServiceContext {
+    static CTX: OnceLock<ServiceContext> = OnceLock::new();
+    CTX.get_or_init(|| ServiceContext::prepare(apps::solr(), &[BeSpec::of(BeKind::Wordcount)], 31))
+}
+
+/// A small managed cell with `plan` active: short horizon, scaled jobs
+/// so the backlog both completes and gets killed within it.
+fn fault_cell(plan: FaultPlan, threads: usize, shards: usize, ckpt: f64) -> ClusterConfig {
+    let mut c = ClusterConfig::new(2 * fault_ctx().service.len()).with_scaled_jobs(0.02);
+    c.duration_s = 40;
+    c.jobs_per_machine = 4;
+    c.checkpoint_fraction = ckpt;
+    c.load = LoadGen::constant(0.8);
+    c.seed = 0xFA17;
+    c.threads = threads;
+    c.shards = shards;
+    c.faults = plan;
+    c
+}
+
+// Each case below runs whole cluster simulations — four orders of
+// magnitude more expensive than the in-memory properties above — so
+// the block pins its own case count instead of honouring
+// `PROPTEST_CASES`.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Chaos does not break reproducibility: for an arbitrary fault
+    /// plan (crashes, recoveries, stragglers, correlated failures at
+    /// arbitrary epochs), the merged metrics serialize byte-identically
+    /// and the per-machine fingerprints match across worker-thread and
+    /// shard layouts.
+    #[test]
+    fn fault_runs_are_layout_invariant(
+        ops in prop::collection::vec((0u8..4, 4u32..36, 0u64..32), 1..5),
+        ckpt_pick in 0usize..3,
+    ) {
+        let machines = 2 * fault_ctx().service.len();
+        let ckpt = [0.05, 0.1, 0.25][ckpt_pick];
+        let mut plan = FaultPlan::new();
+        for &(kind, t, m) in &ops {
+            let (t, m) = (f64::from(t), m % machines as u64);
+            plan = match kind {
+                0 => plan.crash(t, m),
+                1 => plan.recover(t, m),
+                2 => plan.slow_node(t, m, 0.6),
+                _ => plan.correlated(t, vec![m]),
+            };
+        }
+        prop_assert!(plan.validate(machines).is_ok());
+        let runs: Vec<_> = [(1usize, 1usize), (3, 2), (2, 4)]
+            .iter()
+            .map(|&(threads, shards)| {
+                run_cluster(
+                    fault_ctx(),
+                    &ControllerChoice::Rhythm,
+                    &fault_cell(plan.clone(), threads, shards, ckpt),
+                )
+            })
+            .collect();
+        let baseline = serde_json::to_string(&runs[0].metrics).expect("metrics serialize");
+        for r in &runs[1..] {
+            let other = serde_json::to_string(&r.metrics).expect("metrics serialize");
+            prop_assert_eq!(&other, &baseline, "metrics diverged across layouts");
+            prop_assert_eq!(&r.fingerprints, &runs[0].fingerprints, "machine fingerprints diverged");
+        }
+    }
+
+    /// Recovery accounting: a kill rolls a job back to its last banked
+    /// checkpoint, so the work a fault destroys is bounded — per job,
+    /// `wasted ≤ kills × checkpoint_fraction` (one open interval per
+    /// kill), checkpoints stay in `[0, 1]`, and a finished job is fully
+    /// checkpointed. The merged stats must agree with the ledger they
+    /// were derived from, and every kill re-enters the queue.
+    #[test]
+    fn job_ledger_accounts_for_recovery(
+        crashes in prop::collection::vec((4u32..20, 0u64..32, 6u32..16), 1..4),
+        ckpt in 0.05f64..0.5,
+    ) {
+        let machines = 2 * fault_ctx().service.len();
+        let mut plan = FaultPlan::new();
+        for &(t, m, dt) in &crashes {
+            let m = m % machines as u64;
+            plan = plan.crash(f64::from(t), m).recover(f64::from(t + dt), m);
+        }
+        let out = run_cluster(
+            fault_ctx(),
+            &ControllerChoice::Rhythm,
+            &fault_cell(plan, 2, 2, ckpt),
+        );
+        prop_assert!(!out.jobs.is_empty());
+        let mut kills = 0u64;
+        let mut wasted = 0.0;
+        for j in &out.jobs {
+            prop_assert!(
+                (0.0..=1.0).contains(&j.checkpoint),
+                "job {} checkpoint {} out of range", j.id, j.checkpoint
+            );
+            prop_assert!(j.wasted.is_finite() && j.wasted >= 0.0);
+            prop_assert!(
+                j.wasted <= f64::from(j.kills) * ckpt + 1e-9,
+                "job {}: wasted {} exceeds {} kills x {} checkpoint interval",
+                j.id, j.wasted, j.kills, ckpt
+            );
+            if j.kills == 0 {
+                prop_assert_eq!(j.wasted, 0.0, "waste without a kill");
+            }
+            if j.state == JobState::Done {
+                prop_assert_eq!(j.checkpoint, 1.0, "done but not fully checkpointed");
+                prop_assert!(j.completed_s.is_some());
+            } else {
+                prop_assert!(j.completed_s.is_none(), "completed_s on an unfinished job");
+            }
+            kills += u64::from(j.kills);
+            wasted += j.wasted;
+        }
+        prop_assert_eq!(out.metrics.jobs.kills, kills, "merged kill count disagrees with the ledger");
+        prop_assert!((out.metrics.jobs.wasted_jobs - wasted).abs() <= 1e-9);
+        prop_assert!(out.metrics.requeues >= kills, "every kill re-enters the queue");
     }
 }

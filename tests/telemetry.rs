@@ -13,6 +13,10 @@
 //! 3. **The streams are populated** — a managed run produces flight
 //!    recorder events, a non-empty decision audit trail whose records
 //!    explain themselves, and per-epoch tail points.
+//! 4. **Faults are observable and invariant** — with a fault plan
+//!    active, the cluster event stream carries the machine-lifecycle
+//!    events (fault_injected / machine_down / machine_up) and the
+//!    exports remain byte-identical across worker-thread counts.
 
 use rhythm::prelude::*;
 use rhythm::telemetry::EventKind;
@@ -59,6 +63,51 @@ fn telemetry_does_not_perturb_the_simulation() {
     let a = serde_json::to_string(&off.metrics).unwrap();
     let b = serde_json::to_string(&on.metrics).unwrap();
     assert_eq!(a, b, "enabling telemetry changed merged metrics");
+}
+
+#[test]
+fn fault_exports_are_thread_count_invariant() {
+    let faulted = |threads: usize| {
+        let mut c = cell(threads, TelemetryConfig::full());
+        c.faults = FaultPlan::new()
+            .crash(14.0, 1)
+            .slow_node(20.0, 2, 0.6)
+            .recover(34.0, 1)
+            .recover(44.0, 2);
+        run_cluster(ctx(), &ControllerChoice::Rhythm, &c)
+    };
+    let serial = faulted(1);
+    let parallel = faulted(8);
+    let (ts, tp) = (serial.telemetry.unwrap(), parallel.telemetry.unwrap());
+    // The machine-lifecycle events are in the stream, in plan order.
+    let kinds: Vec<&ClusterEventKind> = ts.cluster_events.iter().map(|e| &e.kind).collect();
+    let count = |want: ClusterEventKind| kinds.iter().filter(|k| ***k == want).count();
+    assert_eq!(count(ClusterEventKind::FaultInjected), 4, "{kinds:?}");
+    assert_eq!(count(ClusterEventKind::MachineDown), 1);
+    assert_eq!(count(ClusterEventKind::MachineUp), 2, "crash + straggler recoveries");
+    let down = ts
+        .cluster_events
+        .iter()
+        .find(|e| e.kind == ClusterEventKind::MachineDown)
+        .expect("machine_down recorded");
+    assert_eq!(down.job, 1, "machine_down carries the global machine index");
+    // Byte-identical exports for any worker-thread count, faults active.
+    assert_eq!(
+        ts.export_jsonl(),
+        tp.export_jsonl(),
+        "JSONL export diverged across thread counts under faults"
+    );
+    assert_eq!(
+        ts.chrome_trace(),
+        tp.chrome_trace(),
+        "Chrome trace diverged across thread counts under faults"
+    );
+    assert_eq!(serial.fingerprints, parallel.fingerprints);
+    // The JSONL lines name the fault events.
+    let jsonl = ts.export_jsonl();
+    for needle in ["fault_injected", "machine_down", "machine_up"] {
+        assert!(jsonl.contains(needle), "JSONL export lacks {needle}");
+    }
 }
 
 #[test]

@@ -22,6 +22,31 @@ pub fn cases() -> usize {
         .unwrap_or(CASES)
 }
 
+/// Per-block runner configuration, as upstream's
+/// `#![proptest_config(...)]` inner attribute. Tests whose cases are
+/// expensive (whole cluster runs rather than in-memory data
+/// structures) use an explicit [`ProptestConfig::with_cases`] to cap
+/// the count; an explicit config wins over `PROPTEST_CASES`, exactly
+/// as upstream's does.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test in the block executes.
+    pub cases: usize,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: cases() }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases, like upstream's.
+    pub fn with_cases(cases: usize) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
 /// A small deterministic RNG (SplitMix64) driving case generation.
 pub struct TestRng {
     state: u64,
@@ -248,7 +273,9 @@ pub mod option {
 }
 
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
 
     pub mod prop {
         pub use crate::{collection, option};
@@ -257,6 +284,20 @@ pub mod prelude {
 
 #[macro_export]
 macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
@@ -305,6 +346,22 @@ mod tests {
                 prop_assert!(e < 6);
             }
         }
+    }
+
+    static CONFIG_CASES_RUN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        fn runs_exactly_three_cases(x in 0u64..10) {
+            prop_assert!(x < 10);
+            CONFIG_CASES_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn explicit_config_caps_the_case_count() {
+        runs_exactly_three_cases();
+        assert_eq!(CONFIG_CASES_RUN.load(std::sync::atomic::Ordering::Relaxed), 3);
     }
 
     #[test]
