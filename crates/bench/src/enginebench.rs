@@ -122,6 +122,21 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Pulls one cell's `sim_req_per_sec` out of a bench JSON by cell name:
+/// finds the cell's `"name"` entry, then reads the first
+/// `sim_req_per_sec` after it (the harness always writes the rate right
+/// after the name within the same cell object).
+fn extract_cell_rps(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let at = json.find(&needle)?;
+    extract_number(&json[at..], "sim_req_per_sec")
+}
+
+/// Threshold below which a per-cell throughput ratio counts as a
+/// regression worth flagging (CI warns, never fails: quick-grid cells
+/// are short enough that scheduling noise alone can dent one cell).
+const REGRESSION_RATIO: f64 = 0.90;
+
 /// Runs the grid and writes the JSON report. Returns the output path.
 pub fn run(quick: bool, record_baseline: bool) -> std::io::Result<PathBuf> {
     let (scale, reps) = if quick { (0.3, 2) } else { (1.0, 5) };
@@ -166,7 +181,7 @@ pub fn run(quick: bool, record_baseline: bool) -> std::io::Result<PathBuf> {
 
     let dir = bench_dir();
     let baseline_path = dir.join("BENCH_engine_baseline.json");
-    let baseline_rps = if record_baseline {
+    let baseline_text = if record_baseline {
         None
     } else {
         // The baseline is committed at the repo root; an overridden
@@ -174,11 +189,40 @@ pub fn run(quick: bool, record_baseline: bool) -> std::io::Result<PathBuf> {
         std::fs::read_to_string(&baseline_path)
             .or_else(|_| std::fs::read_to_string(repo_root().join("BENCH_engine_baseline.json")))
             .ok()
-            .and_then(|s| extract_number(&s, "aggregate_sim_req_per_sec"))
     };
+    let baseline_rps = baseline_text
+        .as_deref()
+        .and_then(|s| extract_number(s, "aggregate_sim_req_per_sec"));
     let speedup = baseline_rps.map(|b| aggregate_rps / b);
     if let Some(s) = speedup {
         println!("speedup vs pre-refactor baseline: {s:.2}x");
+    }
+
+    // Per-cell diff against the baseline grid: print one
+    // `bench-regression:` line per cell that lost more than 10%
+    // (bench-smoke greps these into warning annotations) and record the
+    // whole comparison as its own artifact.
+    let mut comparisons: Vec<serde_json::Value> = Vec::new();
+    if let Some(base) = baseline_text.as_deref() {
+        for r in &results {
+            let Some(b) = extract_cell_rps(base, r.name) else {
+                continue;
+            };
+            let ratio = r.sim_req_per_sec / b;
+            if ratio < REGRESSION_RATIO {
+                println!(
+                    "bench-regression: {} {:.2}x vs baseline ({:.0} -> {:.0} req/s)",
+                    r.name, ratio, b, r.sim_req_per_sec
+                );
+            }
+            comparisons.push(serde_json::json!({
+                "name": r.name,
+                "baseline_sim_req_per_sec": b,
+                "sim_req_per_sec": r.sim_req_per_sec,
+                "ratio": ratio,
+                "regression": ratio < REGRESSION_RATIO,
+            }));
+        }
     }
 
     let cells_json: Vec<serde_json::Value> = results
@@ -218,6 +262,20 @@ pub fn run(quick: bool, record_baseline: bool) -> std::io::Result<PathBuf> {
     serde_json::to_writer_pretty(&mut f, &report)?;
     f.flush()?;
     println!("wrote {}", out_path.display());
+    if !comparisons.is_empty() {
+        let compare = serde_json::json!({
+            "schema": "rhythm-engine-bench-compare/v1",
+            "quick": quick,
+            "regression_ratio": REGRESSION_RATIO,
+            "cells": comparisons,
+            "aggregate_speedup_vs_baseline": speedup,
+        });
+        let cmp_path = dir.join("BENCH_engine_compare.json");
+        let mut f = std::fs::File::create(&cmp_path)?;
+        serde_json::to_writer_pretty(&mut f, &compare)?;
+        f.flush()?;
+        println!("wrote {}", cmp_path.display());
+    }
     Ok(out_path)
 }
 
@@ -230,6 +288,26 @@ mod tests {
         let j = "{\n  \"aggregate_sim_req_per_sec\": 123456.75,\n  \"x\": 1\n}";
         assert_eq!(extract_number(j, "aggregate_sim_req_per_sec"), Some(123456.75));
         assert_eq!(extract_number(j, "missing"), None);
+    }
+
+    #[test]
+    fn extract_cell_rps_reads_the_named_cell() {
+        let j = r#"{
+  "cells": [
+    {
+      "name": "ecommerce/solo@0.6",
+      "sim_req_per_sec": 100.5
+    },
+    {
+      "name": "snms/solo@0.8",
+      "sim_req_per_sec": 200.25
+    }
+  ],
+  "aggregate_sim_req_per_sec": 150.0
+}"#;
+        assert_eq!(extract_cell_rps(j, "ecommerce/solo@0.6"), Some(100.5));
+        assert_eq!(extract_cell_rps(j, "snms/solo@0.8"), Some(200.25));
+        assert_eq!(extract_cell_rps(j, "missing/cell"), None);
     }
 
     #[test]

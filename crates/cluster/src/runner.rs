@@ -1400,6 +1400,11 @@ impl<'a> ClusterRunner<'a> {
                 // The final drain has no merge after it: nothing reads BE
                 // progress past `end`, so only epoch boundaries sync.
                 engine.sync_be_progress(target);
+                // The barrier is a utilization read point: settle the
+                // batched worker-busy integrals engine-locally, in the
+                // parallel phase (pure settlement — bit-identical for
+                // any thread count, like the progress sync above).
+                engine.flush_busy_integrals(target);
             }
         };
 

@@ -54,6 +54,7 @@ pub use experiment::{ColocationOutcome, ExperimentConfig};
 pub use metrics::{PodMetrics, RunMetrics};
 pub use profiling::{profile_service, derive_thresholds, ProfileConfig, ServiceThresholds};
 pub use runtime::{
-    ControlMode, Engine, EngineConfig, EngineMachineSummary, EngineOutput, EngineSummary,
+    BusyTransition, ControlMode, Engine, EngineConfig, EngineMachineSummary, EngineOutput,
+    EngineSummary,
 };
 pub use servpod::{Deployment, Servpod};

@@ -113,6 +113,12 @@ pub struct EngineConfig {
     /// Disabled by default; the hot path then pays one branch per
     /// instrumentation point.
     pub telemetry: TelemetryConfig,
+    /// Record every busy transition into a shadow log readable via
+    /// [`Engine::take_busy_log`]. A differential-testing facility
+    /// (`tests/engine_equivalence.rs` recomputes the busy integrals from
+    /// it the straightforward way and demands exact equality); never
+    /// enabled by production configurations and excluded from snapshots.
+    pub shadow_busy_log: bool,
 }
 
 impl EngineConfig {
@@ -139,6 +145,7 @@ impl EngineConfig {
             be_queue_per_machine: None,
             external_be: false,
             telemetry: TelemetryConfig::disabled(),
+            shadow_busy_log: false,
         }
     }
 }
@@ -167,6 +174,20 @@ pub struct BeKill {
     pub workload: String,
     /// Fraction of one job this instance had completed when killed.
     pub progress: f64,
+}
+
+/// One busy transition recorded by the differential-testing shadow log
+/// ([`EngineConfig::shadow_busy_log`]): the raw inputs a reference
+/// O(transitions) recompute needs to rebuild every node's worker-busy
+/// integral and check it exactly against the batched accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusyTransition {
+    /// Node (Servpod) index.
+    pub node: u32,
+    /// Virtual time of the transition.
+    pub at: SimTime,
+    /// Busy-count delta actually applied (after saturation).
+    pub delta: i32,
 }
 
 /// Per-instance progress ledger entry.
@@ -331,18 +352,83 @@ struct InflationInputs {
     rate_bits: u64,
 }
 
-/// Per-node (per-machine) queueing state.
-struct NodeState {
-    workers: u32,
-    busy: u32,
-    queue: VecDeque<(ReqKey, usize)>,
-    /// Current service-time inflation factor.
-    inflation: f64,
-    /// Worker-busy integral for utilization (ns × workers).
-    busy_area: u128,
-    last_busy_change: SimTime,
+/// Per-node (per-machine) queueing state in struct-of-arrays layout.
+///
+/// The per-event path (`enqueue_phase` → `start_phase` → `on_phase_end`)
+/// touches only the dense parallel `Vec`s below — contiguous scalars,
+/// one cache line per field for a whole service — while the cold,
+/// pointer-heavy waiting queues live in a side table it never walks
+/// unless a node is saturated.
+///
+/// The worker-busy integral is **batched**: the event path no longer
+/// settles `busy_area += dt × busy` at every transition. Instead it
+/// maintains the transition-moment sum `busy_tweight = Σ Δⱼ·tⱼ` (one
+/// signed add per transition) and the integral is recovered exactly at
+/// flush points from the identity
+///
+/// ```text
+/// ∫₀ᵗ busy(s) ds  =  busy(t)·t − Σ_{tⱼ ≤ t} Δⱼ·tⱼ
+/// ```
+///
+/// over the integer nanosecond grid — bit-for-bit equal to the old
+/// per-transition settlement (both are exact integer sums), proven by
+/// `tests/engine_equivalence.rs` against a shadow transition log.
+struct NodeTables {
+    workers: Vec<u32>,
+    busy: Vec<u32>,
+    /// Current service-time inflation factor per node.
+    inflation: Vec<f64>,
+    /// Transition-moment sum `Σ Δⱼ·tⱼ` in ns·workers (signed: a node
+    /// that went idle after accruing area holds a negative sum).
+    busy_tweight: Vec<i128>,
+    /// Time of each node's last busy transition.
+    last_busy_change: Vec<SimTime>,
     /// Completed visit counter (for per-node rate estimates).
-    visits_done_window: u64,
+    visits_done_window: Vec<u64>,
+    /// Settled worker-busy integrals as of the last flush point (ns ×
+    /// workers). Derived from the hot fields — never read between
+    /// flushes; kept so each flush can assert monotonicity against the
+    /// previous one in debug builds.
+    busy_area: Vec<u128>,
+    /// Cold side table: per-node FIFO of waiting `(request, visit)`
+    /// phases, only touched when a node has no free worker.
+    queue: Vec<VecDeque<(ReqKey, usize)>>,
+}
+
+impl NodeTables {
+    fn with_workers(workers: Vec<u32>) -> NodeTables {
+        let n = workers.len();
+        NodeTables {
+            workers,
+            busy: vec![0; n],
+            inflation: vec![1.0; n],
+            busy_tweight: vec![0; n],
+            last_busy_change: vec![SimTime::ZERO; n],
+            visits_done_window: vec![0; n],
+            busy_area: vec![0; n],
+            queue: (0..n).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Exact worker-busy integral of node `i` settled to its last busy
+    /// transition — bit-identical to the `busy_area` field the old
+    /// per-transition settlement maintained (and what snapshots encode).
+    fn settled_area(&self, i: usize) -> u128 {
+        self.area_at(i, self.last_busy_change[i])
+    }
+
+    /// Exact worker-busy integral of node `i` over `[0, t]` for any `t`
+    /// at or after the node's last transition. Pure: evaluating it at
+    /// arbitrary extra instants can never change later values
+    /// (flush-placement invariance, property-tested).
+    fn area_at(&self, i: usize, t: SimTime) -> u128 {
+        debug_assert!(t >= self.last_busy_change[i]);
+        (self.busy[i] as i128 * t.as_nanos() as i128 - self.busy_tweight[i]) as u128
+    }
 }
 
 /// The engine itself.
@@ -350,7 +436,7 @@ pub struct Engine {
     service: Arc<ServiceSpec>,
     cfg: EngineConfig,
     deployment: Deployment,
-    nodes: Vec<NodeState>,
+    nodes: NodeTables,
     /// Precomputed sampling state, one entry per node.
     samplers: Vec<NodeSampler>,
     agents: Vec<Option<ControllerAgent>>,
@@ -413,6 +499,10 @@ pub struct Engine {
     last_progress_at: SimTime,
     admitted_log: Vec<BeAdmission>,
     killed_log: Vec<BeKill>,
+    /// Shadow log of busy transitions `(node, t, Δ)` for differential
+    /// testing ([`EngineConfig::shadow_busy_log`]); `None` in every
+    /// production configuration, so the hot path pays one branch.
+    busy_log: Option<Vec<BusyTransition>>,
     /// Telemetry bundle (recorder + audit trail + tail series).
     telemetry: Telemetry,
     /// Per-node `(count, sum)` snapshots of `sojourn_stats` at the last
@@ -434,19 +524,9 @@ impl Engine {
         let visits = service.expected_visits();
         let n = service.len();
         let root = SimRng::from_seed(cfg.seed);
-        let nodes = service
-            .nodes
-            .iter()
-            .map(|node| NodeState {
-                workers: node.component.workers,
-                busy: 0,
-                queue: VecDeque::new(),
-                inflation: 1.0,
-                busy_area: 0,
-                last_busy_change: SimTime::ZERO,
-                visits_done_window: 0,
-            })
-            .collect();
+        let nodes = NodeTables::with_workers(
+            service.nodes.iter().map(|node| node.component.workers).collect(),
+        );
         let samplers = service
             .nodes
             .iter()
@@ -524,6 +604,7 @@ impl Engine {
             last_progress_at: SimTime::ZERO,
             admitted_log: Vec::new(),
             killed_log: Vec::new(),
+            busy_log: cfg.shadow_busy_log.then(Vec::new),
             telemetry: Telemetry::new(cfg.telemetry),
             audit_prev: vec![(0, 0.0); n],
             deployment,
@@ -670,6 +751,58 @@ impl Engine {
     /// not accrue (or lose) progress for the wrong fraction of the tick.
     pub fn sync_be_progress(&mut self, t: SimTime) {
         self.accrue_be_progress(t);
+    }
+
+    /// Batched settlement of the per-node worker-busy integrals: folds
+    /// every node's transition-moment sum into its settled `busy_area`.
+    /// Called at the points that read utilization — controller ticks,
+    /// 10-second window rollovers, cluster epoch barriers, snapshot
+    /// capture and [`Engine::finish_run`] — instead of at every busy
+    /// transition. Settlement is a pure function of the hot fields, so
+    /// flushing at arbitrary extra instants never changes any later
+    /// integral (property-tested in `tests/engine_equivalence.rs`);
+    /// debug builds additionally assert the integral never decreases
+    /// across flush points.
+    pub fn flush_busy_integrals(&mut self, now: SimTime) {
+        for i in 0..self.nodes.len() {
+            debug_assert!(
+                self.nodes.last_busy_change[i] <= now,
+                "flush at {} ns predates node {i}'s last transition",
+                now.as_nanos()
+            );
+            let settled = self.nodes.settled_area(i);
+            debug_assert!(
+                settled >= self.nodes.busy_area[i],
+                "node {i} busy integral decreased across flush points"
+            );
+            self.nodes.busy_area[i] = settled;
+        }
+    }
+
+    /// The exact worker-busy integral of node `i` (ns × workers),
+    /// settled to the node's last busy transition. Equals the value a
+    /// per-transition `busy_area += dt × busy` settlement would hold.
+    pub fn busy_area_ns(&self, i: usize) -> u128 {
+        self.nodes.settled_area(i)
+    }
+
+    /// The exact worker-busy integral of node `i` over `[0, t]` (ns ×
+    /// workers). `t` must be at or after the node's last busy
+    /// transition (e.g. the engine's current time or the run end).
+    pub fn busy_integral_at(&self, i: usize, t: SimTime) -> u128 {
+        self.nodes.area_at(i, t)
+    }
+
+    /// Worker count of node `i` (bounds the busy integral:
+    /// `busy_area ≤ workers × elapsed`).
+    pub fn node_workers(&self, i: usize) -> u32 {
+        self.nodes.workers[i]
+    }
+
+    /// Drains the shadow busy-transition log
+    /// ([`EngineConfig::shadow_busy_log`]).
+    pub fn take_busy_log(&mut self) -> Vec<BusyTransition> {
+        self.busy_log.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// The telemetry collected so far (recorder, audit trail, tail
@@ -875,20 +1008,47 @@ impl Engine {
         total as f64 / window
     }
 
+    /// Applies a busy-count transition on `node` at `now`. No integral
+    /// settlement happens here: the transition moment is folded into the
+    /// node's `busy_tweight` sum (one signed add), and the exact integral
+    /// is recovered at flush points — see [`NodeTables`].
+    ///
+    /// Every `-1` must match an earlier `+1`; a mismatched delta is a
+    /// phase-accounting bug and trips the `debug_assert` below. Release
+    /// builds saturate instead (the effective delta stops at zero busy
+    /// workers), which keeps the busy count *and* the integral mutually
+    /// consistent rather than silently corrupting utilization.
     fn update_busy(&mut self, node: usize, now: SimTime, delta: i32) {
-        let ns = &mut self.nodes[node];
-        let dt = now.saturating_since(ns.last_busy_change).as_nanos();
-        ns.busy_area += dt as u128 * ns.busy as u128;
-        ns.last_busy_change = now;
-        ns.busy = (ns.busy as i32 + delta).max(0) as u32;
+        let busy = self.nodes.busy[node];
+        debug_assert!(
+            delta >= 0 || busy >= delta.unsigned_abs(),
+            "node {node} busy underflow at {} ns: busy={busy} delta={delta}",
+            now.as_nanos()
+        );
+        debug_assert!(now >= self.nodes.last_busy_change[node]);
+        let eff = if delta < 0 {
+            -(busy.min(delta.unsigned_abs()) as i64)
+        } else {
+            delta as i64
+        };
+        self.nodes.busy_tweight[node] += eff as i128 * now.as_nanos() as i128;
+        self.nodes.busy[node] = (busy as i64 + eff) as u32;
+        self.nodes.last_busy_change[node] = now;
+        if let Some(log) = self.busy_log.as_mut() {
+            log.push(BusyTransition {
+                node: node as u32,
+                at: now,
+                delta: eff as i32,
+            });
+        }
     }
 
     fn enqueue_phase(&mut self, now: SimTime, req: ReqKey, visit: usize) {
         let node = self.requests.get(req).expect("request exists").visits[visit].node;
-        if self.nodes[node].busy < self.nodes[node].workers {
+        if self.nodes.busy[node] < self.nodes.workers[node] {
             self.start_phase(now, req, visit);
         } else {
-            self.nodes[node].queue.push_back((req, visit));
+            self.nodes.queue[node].push_back((req, visit));
         }
     }
 
@@ -930,7 +1090,7 @@ impl Engine {
             };
             let fc = f.clamp(0.0, 1.05);
             let contention = 1.0 + s.contention * fc * fc * fc;
-            dur_ms = base * self.nodes[node].inflation * contention * burst;
+            dur_ms = base * self.nodes.inflation[node] * contention * burst;
         }
         self.update_busy(node, now, 1);
         let at = now + SimDuration::from_millis_f64(dur_ms.max(1e-6));
@@ -941,7 +1101,7 @@ impl Engine {
         let node = self.requests.get(req).expect("request exists").visits[visit].node;
         self.update_busy(node, now, -1);
         // Start the next queued phase on this node.
-        if let Some((q_req, q_visit)) = self.nodes[node].queue.pop_front() {
+        if let Some((q_req, q_visit)) = self.nodes.queue[node].pop_front() {
             self.start_phase(now, q_req, q_visit);
         }
         // Advance the visit. Children to dispatch are re-read from the
@@ -987,7 +1147,7 @@ impl Engine {
                 }
             }
             Advance::Complete => {
-                self.nodes[node].visits_done_window += 1;
+                self.nodes.visits_done_window[node] += 1;
                 self.on_visit_complete(now, req, visit);
             }
             Advance::Wait => {}
@@ -1045,6 +1205,9 @@ impl Engine {
             }
             self.window_hist.reset();
             self.window_epoch = epoch;
+            // Window rollover is a utilization read point: settle the
+            // batched busy integrals (rare — once per 10 sim-seconds).
+            self.flush_busy_integrals(now);
         }
         self.window_hist.record(latency_ms);
         for v in &r.visits[..r.used] {
@@ -1103,7 +1266,7 @@ impl Engine {
                 comp.membw_mbps_at(rate),
                 comp.net_mbps_at(rate),
             );
-            self.nodes[i].inflation = self.cfg.interference.inflation(comp, &pressure, machine);
+            self.nodes.inflation[i] = self.cfg.interference.inflation(comp, &pressure, machine);
             self.inflation_inputs[i] = Some(inputs);
         }
     }
@@ -1148,9 +1311,9 @@ impl Engine {
     /// Instantaneous machine CPU utilization split (LC busy fraction,
     /// BE cores).
     fn cpu_utils(&self, i: usize) -> (f64, f64) {
-        let ns = &self.nodes[i];
         // Instantaneous busy fraction approximated by current busy count.
-        let lc_busy_frac = (ns.busy as f64 / ns.workers as f64).clamp(0.0, 1.0);
+        let lc_busy_frac =
+            (self.nodes.busy[i] as f64 / self.nodes.workers[i] as f64).clamp(0.0, 1.0);
         let m = &self.deployment.machines[i];
         let lc_cores_busy = lc_busy_frac * m.lc_alloc().cores as f64;
         let be_cores: u32 = m
@@ -1329,6 +1492,7 @@ impl Engine {
     }
 
     fn on_metrics(&mut self, now: SimTime) {
+        self.flush_busy_integrals(now);
         self.integrate(now);
         self.accrue_be_progress(now);
         let next = now + SimDuration::from_secs(1);
@@ -1338,6 +1502,7 @@ impl Engine {
     }
 
     fn on_control(&mut self, now: SimTime) {
+        self.flush_busy_integrals(now);
         self.integrate(now);
         self.accrue_be_progress(now);
         let load_fraction = self.measured_rate(now) / self.maxload;
@@ -1391,8 +1556,7 @@ impl Engine {
                 let machine = &mut deployment.machines[i];
                 let comp = &service.nodes[i].component;
                 let rate = cfg.load.fraction_at(now) * *maxload * visits[i];
-                let ns = &nodes[i];
-                let lc_cpu = (ns.busy as f64 / ns.workers as f64).clamp(0.0, 1.0);
+                let lc_cpu = (nodes.busy[i] as f64 / nodes.workers[i] as f64).clamp(0.0, 1.0);
                 let be_cpu = if machine.running_be_count() > 0 { 1.0 } else { 0.0 };
                 let (pending, be, be_priority) = if cfg.external_be {
                     // Cluster mode: the dispatcher offers at most one job
@@ -1496,6 +1660,9 @@ impl Engine {
     /// calendar (or at whatever point the cluster ends the run).
     pub fn finish_run(mut self) -> EngineOutput {
         let end = self.end_at;
+        // Final flush point. Phase-end events drain past `end_at`, so
+        // settle at whichever is later.
+        self.flush_busy_integrals(end.max(self.cal.now()));
         self.integrate(end);
         self.accrue_be_progress(end);
         if !self.window_hist.is_empty() {
@@ -1677,20 +1844,31 @@ impl Snapshot for InflationInputs {
     }
 }
 
-impl Snapshot for NodeState {
-    fn encode(&self, w: &mut Writer) {
-        w.u32(self.workers);
-        w.u32(self.busy);
+impl NodeTables {
+    /// Encodes node `i` in the original array-of-structs field order —
+    /// the wire layout predates the SoA refactor and is pinned by the
+    /// `rhythm-core` schema hash and the container byte golden, so the
+    /// SoA tables serialise through the same per-node record. The
+    /// `busy_area` written is the flush-point evaluation of the batched
+    /// integral, bit-identical to the old per-transition field.
+    fn encode_node(&self, i: usize, w: &mut Writer) {
+        w.u32(self.workers[i]);
+        w.u32(self.busy[i]);
         let queue: Vec<(ReqKey, u64)> =
-            self.queue.iter().map(|&(k, v)| (k, v as u64)).collect();
+            self.queue[i].iter().map(|&(k, v)| (k, v as u64)).collect();
         queue.encode(w);
-        w.f64(self.inflation);
-        w.u128(self.busy_area);
-        self.last_busy_change.encode(w);
-        w.u64(self.visits_done_window);
+        w.f64(self.inflation[i]);
+        w.u128(self.settled_area(i));
+        self.last_busy_change[i].encode(w);
+        w.u64(self.visits_done_window[i]);
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+    /// Decodes one node record into slot `i`, converting the settled
+    /// `busy_area` back into the transition-moment sum the hot path
+    /// maintains (`tweight = busy·t_last − area`). Rejects records whose
+    /// busy count exceeds the worker pool or whose integral exceeds the
+    /// `workers × elapsed` bound — both impossible for any real run.
+    fn decode_node(&mut self, i: usize, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
         let workers = r.u32()?;
         let busy = r.u32()?;
         if busy > workers {
@@ -1699,15 +1877,30 @@ impl Snapshot for NodeState {
             )));
         }
         let queue: Vec<(ReqKey, u64)> = Snapshot::decode(r)?;
-        Ok(NodeState {
-            workers,
-            busy,
-            queue: queue.into_iter().map(|(k, v)| (k, v as usize)).collect(),
-            inflation: r.f64()?,
-            busy_area: r.u128()?,
-            last_busy_change: Snapshot::decode(r)?,
-            visits_done_window: r.u64()?,
-        })
+        let inflation = r.f64()?;
+        let busy_area = r.u128()?;
+        let last_busy_change: SimTime = Snapshot::decode(r)?;
+        let visits_done_window = r.u64()?;
+        if workers != self.workers[i] {
+            return Err(SnapshotError::Corrupt(format!(
+                "node {i} has {workers} workers, service says {}",
+                self.workers[i]
+            )));
+        }
+        if busy_area > workers as u128 * last_busy_change.as_nanos() as u128 {
+            return Err(SnapshotError::Corrupt(format!(
+                "node {i} busy integral exceeds workers × elapsed"
+            )));
+        }
+        self.busy[i] = busy;
+        self.queue[i] = queue.into_iter().map(|(k, v)| (k, v as usize)).collect();
+        self.inflation[i] = inflation;
+        self.busy_tweight[i] =
+            busy as i128 * last_busy_change.as_nanos() as i128 - busy_area as i128;
+        self.busy_area[i] = busy_area;
+        self.last_busy_change[i] = last_busy_change;
+        self.visits_done_window[i] = visits_done_window;
+        Ok(())
     }
 }
 
@@ -1877,8 +2070,8 @@ impl Engine {
     pub fn snapshot_encode(&self, w: &mut Writer) {
         self.deployment.machines.encode(w);
         w.u64(self.nodes.len() as u64);
-        for n in &self.nodes {
-            n.encode(w);
+        for i in 0..self.nodes.len() {
+            self.nodes.encode_node(i, w);
         }
         let agents: Vec<Option<(AgentStats, Option<BeAction>)>> = self
             .agents
@@ -1960,14 +2153,7 @@ impl Engine {
             )));
         }
         for i in 0..n {
-            let node: NodeState = Snapshot::decode(r)?;
-            if node.workers != e.nodes[i].workers {
-                return Err(SnapshotError::Corrupt(format!(
-                    "node {i} has {} workers, service says {}",
-                    node.workers, e.nodes[i].workers
-                )));
-            }
-            e.nodes[i] = node;
+            e.nodes.decode_node(i, r)?;
         }
         let agents: Vec<Option<(AgentStats, Option<BeAction>)>> = Snapshot::decode(r)?;
         if agents.len() != n {
@@ -1995,8 +2181,8 @@ impl Engine {
                 return Err(SnapshotError::Corrupt("visit node out of range".into()));
             }
         }
-        for node in &e.nodes {
-            for &(key, visit) in &node.queue {
+        for queue in &e.nodes.queue {
+            for &(key, visit) in queue {
                 let ok = e
                     .requests
                     .get(key)
@@ -2400,6 +2586,136 @@ mod tests {
             &mut Reader::new(&bytes[..bytes.len() / 2]),
         );
         assert!(r.is_err());
+    }
+
+    /// A `-1` busy delta with no matching `+1` is a phase-accounting
+    /// bug; debug builds must refuse it loudly instead of letting it
+    /// corrupt utilization accounting.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "busy underflow")]
+    fn busy_underflow_is_caught_in_debug() {
+        let mut e = Engine::new(apps::ecommerce(), EngineConfig::solo(0.5, 10, 1));
+        e.update_busy(0, SimTime::from_millis(5), -1);
+    }
+
+    /// Release builds saturate a mismatched delta at zero busy workers,
+    /// and the effective (clamped) delta keeps the busy count and the
+    /// batched integral mutually consistent: later transitions still
+    /// produce the exact integral.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn busy_underflow_saturates_in_release() {
+        let mut e = Engine::new(apps::ecommerce(), EngineConfig::solo(0.5, 10, 1));
+        e.update_busy(0, SimTime::from_nanos(1_000), -1);
+        assert_eq!(e.nodes.busy[0], 0, "saturated at zero");
+        assert_eq!(e.busy_area_ns(0), 0, "no phantom area from the clamp");
+        e.update_busy(0, SimTime::from_nanos(2_000), 1);
+        e.update_busy(0, SimTime::from_nanos(5_000), -1);
+        assert_eq!(e.nodes.busy[0], 0);
+        assert_eq!(e.busy_area_ns(0), 3_000, "integral of the real +1/-1 pair");
+    }
+
+    /// Flushing is pure settlement: calling it at arbitrary instants
+    /// between transitions changes neither the busy count nor any later
+    /// integral value.
+    #[test]
+    fn flush_is_idempotent_and_placement_invariant() {
+        let mut a = Engine::new(apps::ecommerce(), EngineConfig::solo(0.6, 20, 3));
+        let mut b = Engine::new(apps::ecommerce(), EngineConfig::solo(0.6, 20, 3));
+        for step in 1..=40u64 {
+            let t = SimTime::ZERO + SimDuration::from_millis(step * 250);
+            a.run_until(t);
+            b.run_until(t);
+            // `a` flushes at every step (and twice); `b` never does.
+            a.flush_busy_integrals(t);
+            a.flush_busy_integrals(t);
+        }
+        for i in 0..a.machine_count() {
+            assert_eq!(a.busy_area_ns(i), b.busy_area_ns(i));
+        }
+        let (fa, fb) = (a.run(), b.run());
+        assert_eq!(fa.completed, fb.completed);
+        assert_eq!(fa.p99_ms().to_bits(), fb.p99_ms().to_bits());
+    }
+
+    mod node_table_roundtrip {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One synthetic node record honouring the decode invariants:
+        /// `busy ≤ workers` and `busy_area ≤ workers × elapsed`.
+        fn record() -> impl Strategy<Value = (u32, u32, f64, u64, u64, u64)> {
+            (1u32..=64, any::<u32>(), 0.5f64..16.0, 0u64..=86_400_000_000_000, any::<u64>(), any::<u64>())
+                .prop_map(|(workers, busy_seed, inflation, last, area_seed, visits)| {
+                    let busy = busy_seed % (workers + 1);
+                    (workers, busy, inflation, last, area_seed, visits)
+                })
+        }
+
+        proptest! {
+            /// Encode → decode → re-encode over arbitrary SoA node-state
+            /// tables is byte-identical, and the decoded tweight
+            /// reproduces the settled integral exactly.
+            #[test]
+            fn soa_node_tables_round_trip(records in prop::collection::vec(record(), 1..12)) {
+                let workers: Vec<u32> = records.iter().map(|r| r.0).collect();
+                let mut src = NodeTables::with_workers(workers.clone());
+                for (i, &(w, busy, inflation, last, area_seed, visits)) in records.iter().enumerate() {
+                    let bound = w as u128 * last as u128;
+                    let area = if bound == 0 { 0 } else { area_seed as u128 % (bound + 1) };
+                    src.busy[i] = busy;
+                    src.inflation[i] = inflation;
+                    src.last_busy_change[i] = SimTime::from_nanos(last);
+                    src.busy_tweight[i] = busy as i128 * last as i128 - area as i128;
+                    src.visits_done_window[i] = visits;
+                    prop_assert_eq!(src.settled_area(i), area);
+                }
+                let mut w = Writer::new();
+                for i in 0..src.len() {
+                    src.encode_node(i, &mut w);
+                }
+                let bytes = w.into_bytes();
+                let mut dst = NodeTables::with_workers(workers);
+                let mut r = Reader::new(&bytes);
+                for i in 0..dst.len() {
+                    dst.decode_node(i, &mut r).expect("valid record decodes");
+                }
+                let mut w2 = Writer::new();
+                for i in 0..dst.len() {
+                    dst.encode_node(i, &mut w2);
+                }
+                prop_assert_eq!(w2.into_bytes(), bytes);
+                for i in 0..dst.len() {
+                    prop_assert_eq!(dst.settled_area(i), src.settled_area(i));
+                    prop_assert_eq!(dst.busy_tweight[i], src.busy_tweight[i]);
+                }
+            }
+
+            /// Organic round trip: a mid-run engine (queues, in-flight
+            /// requests, settled and unsettled busy areas) snapshots,
+            /// restores and re-encodes bit-identically.
+            #[test]
+            fn mid_run_engine_snapshot_round_trips(secs in 3u64..25, seed in 0u64..200) {
+                let mut e = Engine::new(apps::ecommerce(), managed_cfg(seed));
+                e.run_until(SimTime::ZERO + SimDuration::from_secs(secs));
+                let mut w = Writer::new();
+                e.snapshot_encode(&mut w);
+                let bytes = w.into_bytes();
+                let restored = Engine::snapshot_restore(
+                    apps::ecommerce(),
+                    managed_cfg(seed),
+                    &mut Reader::new(&bytes),
+                )
+                .expect("snapshot restores");
+                let mut w2 = Writer::new();
+                restored.snapshot_encode(&mut w2);
+                prop_assert_eq!(w2.into_bytes(), bytes);
+                for i in 0..e.machine_count() {
+                    prop_assert_eq!(restored.busy_area_ns(i), e.busy_area_ns(i));
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Differential equivalence layer for the SoA engine hot path
+//! (DESIGN.md §7): the batched busy-integral accounting must be
+//! **observationally equal** to the straightforward per-transition math
+//! it replaced. Each case runs a small cell with the shadow busy log
+//! enabled and recomputes every node's worker-busy integral from the raw
+//! transition stream — an O(transitions) reference implementation kept
+//! deliberately naive — then demands exact `u128` equality, not epsilon
+//! closeness. A second block checks the utilization invariants
+//! (`busy_area ≤ workers × elapsed`, monotone across flush points) and
+//! that flushing at arbitrary extra instants never changes a run.
+//!
+//! `PROPTEST_CASES` scales the sweep (the CI properties job runs 256).
+
+use proptest::prelude::*;
+use rhythm::core::{BusyTransition, ControlMode, Engine, EngineConfig};
+use rhythm::prelude::*;
+
+/// Builds one of four engine cell shapes: three services in solo mode
+/// plus the managed/co-located e-commerce cell, whose controller path
+/// exercises BE worker transitions on top of the LC phase traffic.
+fn cell(kind: u8, load: f64, secs: u64, seed: u64) -> (ServiceSpec, EngineConfig) {
+    let service = match kind % 4 {
+        0 => apps::ecommerce(),
+        1 => apps::solr(),
+        2 => apps::snms(),
+        _ => apps::ecommerce(),
+    };
+    let mut cfg = EngineConfig::solo(load, secs, seed);
+    if kind % 4 == 3 {
+        cfg.bes = vec![BeSpec::of(BeKind::Wordcount)];
+        cfg.sla_ms = 400.0;
+        cfg.mode = ControlMode::Managed {
+            thresholds: vec![Thresholds::new(0.9, 0.05); service.len()],
+        };
+    }
+    (service, cfg)
+}
+
+/// Reference recompute: the integral as the engine computed it *before*
+/// the batched-settlement rework — one rectangle `busy × Δt` per
+/// transition, walked straight off the shadow event log. Returns, per
+/// node, the area settled up to its **last transition** (the value the
+/// old code stored, and what snapshots encode) and the full integral at
+/// `end` including the still-open rectangle.
+fn reference_busy_integrals(
+    log: &[BusyTransition],
+    nodes: usize,
+    end: SimTime,
+) -> Vec<(u128, u128)> {
+    let mut busy = vec![0u32; nodes];
+    let mut last = vec![0u64; nodes];
+    let mut area = vec![0u128; nodes];
+    for tr in log {
+        let i = tr.node as usize;
+        let t = tr.at.as_nanos();
+        assert!(t >= last[i], "shadow log out of time order");
+        area[i] += u128::from(busy[i]) * u128::from(t - last[i]);
+        // Logged deltas are the *effective* (clamp-adjusted) ones, so
+        // this never underflows.
+        busy[i] = (i64::from(busy[i]) + i64::from(tr.delta)) as u32;
+        last[i] = t;
+    }
+    (0..nodes)
+        .map(|i| {
+            let tail = u128::from(busy[i]) * u128::from(end.as_nanos() - last[i]);
+            (area[i], area[i] + tail)
+        })
+        .collect()
+}
+
+proptest! {
+    /// The differential test proper: batched settlement vs. the
+    /// O(transitions) reference, exactly, at an arbitrary mid-run
+    /// instant of an arbitrary small cell.
+    #[test]
+    fn batched_integrals_equal_reference_recompute(
+        (kind, load, secs, seed) in (any::<u8>(), 0.2f64..0.95, 6u64..20, any::<u64>()),
+        frac in 0.1f64..1.0,
+    ) {
+        let (service, mut cfg) = cell(kind, load, secs, seed);
+        cfg.shadow_busy_log = true;
+        let mut e = Engine::new(service, cfg);
+        let t = SimTime::ZERO + SimDuration::from_secs_f64(secs as f64 * frac);
+        e.run_until(t);
+        e.flush_busy_integrals(t);
+        let log = e.take_busy_log();
+        prop_assert!(!log.is_empty(), "cell produced no busy transitions");
+        let n = e.machine_count();
+        let reference = reference_busy_integrals(&log, n, t);
+        for (i, &(settled, at_t)) in reference.iter().enumerate() {
+            prop_assert_eq!(
+                e.busy_area_ns(i),
+                settled,
+                "node {} batched settled integral diverged from reference",
+                i
+            );
+            prop_assert_eq!(
+                e.busy_integral_at(i, t),
+                at_t,
+                "node {} probe integral at t diverged from reference",
+                i
+            );
+        }
+    }
+
+    /// Utilization invariants at every flush point: a node can never
+    /// accumulate more busy-time than `workers × elapsed`, and settled
+    /// integrals never decrease.
+    #[test]
+    fn busy_integrals_bounded_and_monotone(
+        (kind, load, secs, seed) in (any::<u8>(), 0.2f64..0.95, 6u64..16, any::<u64>()),
+        steps in 3usize..9,
+    ) {
+        let (service, cfg) = cell(kind, load, secs, seed);
+        let mut e = Engine::new(service, cfg);
+        let mut prev: Vec<u128> = Vec::new();
+        for s in 1..=steps {
+            let t = SimTime::ZERO
+                + SimDuration::from_secs_f64(secs as f64 * s as f64 / steps as f64);
+            e.run_until(t);
+            e.flush_busy_integrals(t);
+            if prev.is_empty() {
+                prev = vec![0; e.machine_count()];
+            }
+            for (i, p) in prev.iter_mut().enumerate() {
+                let a = e.busy_area_ns(i);
+                prop_assert!(a >= *p, "node {} integral decreased across flush", i);
+                prop_assert!(
+                    a <= u128::from(e.node_workers(i)) * u128::from(t.as_nanos()),
+                    "node {} busier than workers × elapsed",
+                    i
+                );
+                *p = a;
+            }
+        }
+    }
+
+    /// Flush-placement invariance: settling at arbitrary extra instants
+    /// is pure bookkeeping — the final integrals and the whole run's
+    /// observable output stay bit-identical to a never-flushed twin.
+    #[test]
+    fn flush_placement_never_changes_results(
+        (kind, load, secs, seed) in (any::<u8>(), 0.2f64..0.95, 6u64..14, any::<u64>()),
+        cuts in prop::collection::vec(0.01f64..0.99, 1..12),
+    ) {
+        let (service_a, cfg_a) = cell(kind, load, secs, seed);
+        let (service_b, cfg_b) = cell(kind, load, secs, seed);
+        let mut flushed = Engine::new(service_a, cfg_a);
+        let mut plain = Engine::new(service_b, cfg_b);
+        let mut cuts = cuts;
+        cuts.sort_by(f64::total_cmp);
+        for c in &cuts {
+            let t = SimTime::ZERO + SimDuration::from_secs_f64(secs as f64 * c);
+            flushed.run_until(t);
+            flushed.flush_busy_integrals(t);
+        }
+        // Settle both at a common instant and compare the integrals…
+        let end = SimTime::ZERO + SimDuration::from_secs(secs);
+        flushed.run_until(end);
+        plain.run_until(end);
+        flushed.flush_busy_integrals(end);
+        plain.flush_busy_integrals(end);
+        for i in 0..flushed.machine_count() {
+            prop_assert_eq!(flushed.busy_area_ns(i), plain.busy_area_ns(i));
+        }
+        // …then drain to completion and compare the observable output.
+        let (oa, ob) = (flushed.run(), plain.run());
+        prop_assert_eq!(oa.completed, ob.completed);
+        prop_assert_eq!(oa.completed_total, ob.completed_total);
+        prop_assert_eq!(oa.p99_ms().to_bits(), ob.p99_ms().to_bits());
+        prop_assert_eq!(oa.mean_ms().to_bits(), ob.mean_ms().to_bits());
+        for (pa, pb) in oa.pods.iter().zip(&ob.pods) {
+            prop_assert_eq!(pa.cpu_util.to_bits(), pb.cpu_util.to_bits());
+            prop_assert_eq!(pa.be_throughput.to_bits(), pb.be_throughput.to_bits());
+        }
+    }
+}

@@ -200,6 +200,10 @@ fn print_fingerprints() {
         snap.to_bytes().len()
     );
     println!("const CHAOS_CAMPAIGN: &[u64] = &{:?};", chaos_campaign());
+    println!(
+        "const CORE_SCHEMA_HASH: u64 = {:#018x};",
+        rhythm::snapshot::schema_hash(rhythm::core::SNAPSHOT_SCHEMA)
+    );
 }
 
 include!("fixtures/golden_fixtures.rs");
@@ -234,4 +238,16 @@ fn snapshot_bytes_bit_identical() {
 #[test]
 fn chaos_campaign_bit_identical() {
     assert_eq!(chaos_campaign(), CHAOS_CAMPAIGN);
+}
+
+/// The SoA node-state rework must not bump the engine wire schema: the
+/// per-node field order on the wire is unchanged, so the schema string
+/// — and therefore every existing snapshot file — stays valid. A
+/// failure here means a layout change leaked into the codec.
+#[test]
+fn core_snapshot_schema_hash_unchanged() {
+    assert_eq!(
+        rhythm::snapshot::schema_hash(rhythm::core::SNAPSHOT_SCHEMA),
+        CORE_SCHEMA_HASH
+    );
 }

@@ -1,6 +1,7 @@
-//! Offline stand-in for `proptest`, covering the surface
-//! `tests/properties.rs` uses: the [`proptest!`] macro with `arg in
-//! strategy` parameters, range strategies over the numeric primitives,
+//! Offline stand-in for `proptest`, covering the surface the repo's
+//! property tests use: the [`proptest!`] macro with `arg in strategy`
+//! parameters, range strategies (exclusive and inclusive) over the
+//! numeric primitives, [`any`], [`Strategy::prop_map`],
 //! `prop::collection::vec`, and `prop_assert!`/`prop_assert_eq!`.
 //!
 //! Each test runs a fixed number of deterministic random cases (seeded
@@ -79,6 +80,61 @@ impl TestRng {
 pub trait Strategy {
     type Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, as upstream's `prop_map`.
+    /// This is how dependent draws are expressed (e.g. `busy` in
+    /// `0..=workers`): draw independent seeds, then derive.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Marker strategy for a type's full value domain, as upstream's
+/// `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy drawing uniformly from `T`'s entire domain.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
 }
 
 macro_rules! impl_strategy_int_range {
@@ -95,6 +151,28 @@ macro_rules! impl_strategy_int_range {
 }
 
 impl_strategy_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_strategy_int_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as u64)
+                    .wrapping_sub(*self.start() as u64)
+                    .wrapping_add(1);
+                // span == 0 means the range covers the full 64-bit
+                // domain; every draw is in range.
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                self.start().wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range_inclusive!(u8, u16, u32, u64, usize, i32, i64);
 
 impl Strategy for std::ops::Range<f64> {
     type Value = f64;
@@ -129,6 +207,8 @@ impl_strategy_tuple! {
     (0 A, 1 B)
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
 }
 
 /// Size specification for collection strategies.
@@ -274,7 +354,8 @@ pub mod option {
 
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
     };
 
     pub mod prop {
@@ -285,7 +366,7 @@ pub mod prelude {
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)]
-     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {
@@ -298,7 +379,7 @@ macro_rules! proptest {
             }
         )*
     };
-    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {
