@@ -9,6 +9,8 @@
 //! repro --json <id>  # print the JSON document instead of text tables
 //! repro cluster --hetero  # heterogeneous 4-machine cell instead of the
 //!                         # homogeneous N ∈ {4,16,64} sweep
+//! repro lint --github     # also emit ::error workflow commands so CI
+//!                         # annotates findings inline in the PR diff
 //! repro snapshot [--machines N] [--epoch E] [--out FILE]
 //!                         # capture the standard cell at an epoch barrier
 //! repro resume FILE       # continue a capture to the end of its horizon
@@ -28,6 +30,8 @@ fn main() -> std::io::Result<()> {
     args.retain(|a| a != "--json");
     let hetero = args.iter().any(|a| a == "--hetero");
     args.retain(|a| a != "--hetero");
+    let github = args.iter().any(|a| a == "--github");
+    args.retain(|a| a != "--github");
     b::report::set_json_stdout(json_mode);
     // The snapshot family takes its own flags/positionals, not a target
     // list — dispatch before the experiment loop.
@@ -104,7 +108,7 @@ fn main() -> std::io::Result<()> {
             "cluster" => b::cluster::run()?,
             "chaos" => b::chaos::run()?,
             "trace" => b::trace::run()?,
-            "lint" => b::lint::run()?,
+            "lint" => b::lint::run(github)?,
             other => {
                 eprintln!("[repro] unknown experiment id: {other}");
                 std::process::exit(2);

@@ -7,9 +7,15 @@
 //! has no timestamps — two consecutive runs are byte-identical. The
 //! process exits non-zero when any unsuppressed finding remains, so the
 //! CI job fails on the report it just uploaded.
+//!
+//! With `--github` the pass additionally prints one GitHub Actions
+//! `::error file=...,line=...::` workflow command per unsuppressed
+//! finding, so a CI run annotates the offending lines inline in the PR
+//! diff. The `results/lint.{txt,json}` artifacts are byte-identical
+//! with and without the flag.
 
 use crate::report::Report;
-use rhythm_lint::{lint_workspace, RULES};
+use rhythm_lint::{lint_workspace, render_github, RULES};
 use serde_json::Value;
 use std::path::{Path, PathBuf};
 
@@ -27,11 +33,16 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|_| manifest.join("../.."))
 }
 
-/// Runs the pass and writes `results/lint.{txt,json}`. Exits with
-/// status 2 when unsuppressed findings remain.
-pub fn run() -> std::io::Result<()> {
+/// Runs the pass and writes `results/lint.{txt,json}`. With `github`
+/// set, also prints one `::error` workflow command per unsuppressed
+/// finding (annotations, not artifacts — the written reports do not
+/// change). Exits with status 2 when unsuppressed findings remain.
+pub fn run(github: bool) -> std::io::Result<()> {
     let root = workspace_root();
     let ws = lint_workspace(&root)?;
+    if github {
+        print!("{}", render_github(&ws));
+    }
 
     let mut r = Report::new("lint", "rhythm-lint determinism & invariant pass");
     r.line(format!("workspace: {}", root.display()));

@@ -292,6 +292,7 @@ impl JobStats {
     /// past its deadline.
     pub fn from_jobs_at(jobs: &[ClusterJob], horizon_s: f64) -> JobStats {
         let mut times: Vec<f64> = jobs.iter().filter_map(|j| j.completion_time_s()).collect();
+        // PANIC: completion times derive from SimTime nanos — always finite.
         times.sort_by(|a, b| a.partial_cmp(b).expect("completion times are finite"));
         let completed = times.len() as u64;
         let mean = if times.is_empty() {

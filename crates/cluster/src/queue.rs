@@ -76,6 +76,7 @@ struct JobMeta {
 /// Deterministic shared queue of jobs awaiting placement.
 #[derive(Clone, Debug, Default)]
 pub struct JobQueue {
+    // lint:allow(S02) -- derived: exactly the Some keys of meta; decode rebuilds it
     order: BTreeSet<QueueKey>,
     meta: BTreeMap<JobId, JobMeta>,
     next_back: i64,
@@ -230,6 +231,8 @@ impl JobQueue {
                 self.order.remove(&old_key);
                 let new_key = (class, old_key.1, old_key.2, old_key.3);
                 self.order.insert(new_key);
+                // PANIC: id came from a key in `order`, and `order` only
+                // holds ids present in `meta`.
                 self.meta.get_mut(&id).expect("meta exists").key = Some(new_key);
             }
         }
@@ -249,6 +252,7 @@ impl JobQueue {
         let key = *self.order.iter().next()?;
         self.order.remove(&key);
         let id = key.3;
+        // PANIC: the popped key came from `order`, whose ids mirror `meta`.
         self.meta.get_mut(&id).expect("queued job has meta").key = None;
         Some(id)
     }

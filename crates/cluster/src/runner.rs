@@ -581,6 +581,8 @@ impl<'c> Scheduler<'c> {
             .min()
             .map(|(_, s)| s)
         {
+            // PANIC: `home` was selected because its peek returned Some,
+            // and nothing popped between the peek and here.
             let jid = self.shards[home].queue.pop().expect("peeked head pops");
             let members: Vec<JobId> = match self.jobs[jid as usize].gang {
                 Some(gid) => self.live_members(gid),
@@ -641,6 +643,7 @@ impl<'c> Scheduler<'c> {
                 assignments.push((g, m));
             }
             if let Some(gid) = self.jobs[jid as usize].gang {
+                // PANIC: every gang id is registered in `gangs` at submission.
                 let tracker = self.gangs.get_mut(&gid).expect("gang tracked");
                 tracker.forming = true;
                 tracker.patience_left = self.cfg.gang_patience_epochs.max(1);
@@ -766,6 +769,7 @@ impl<'c> Scheduler<'c> {
                 .iter()
                 .all(|&m| matches!(self.jobs[m as usize].state, JobState::Running(_)))
             {
+                // PANIC: every gang id is registered in `gangs` at submission.
                 self.gangs.get_mut(&gid).expect("gang tracked").forming = false;
                 if self.cfg.telemetry.enabled {
                     self.events.push(ClusterEvent {
@@ -777,6 +781,7 @@ impl<'c> Scheduler<'c> {
                     });
                 }
             } else {
+                // PANIC: every gang id is registered in `gangs` at submission.
                 let tracker = self.gangs.get_mut(&gid).expect("gang tracked");
                 tracker.patience_left = tracker.patience_left.saturating_sub(1);
                 if tracker.patience_left == 0 {
@@ -822,6 +827,7 @@ impl<'c> Scheduler<'c> {
                 JobState::Queued | JobState::Done => {}
             }
         }
+        // PANIC: every gang id is registered in `gangs` at submission.
         let tracker = self.gangs.get_mut(&gid).expect("gang tracked");
         tracker.forming = false;
         tracker.patience_left = self.cfg.gang_patience_epochs.max(1);
@@ -959,6 +965,7 @@ impl<'c> Scheduler<'c> {
         self.seq = st.seq;
         self.placer.set_cursor(st.rr_cursor as usize);
         for (gid, gs) in &st.gangs {
+            // PANIC: restore_state validated st.gangs against the roster.
             let t = self.gangs.get_mut(gid).expect("gang roster verified above");
             t.patience_left = gs.patience_left;
             t.forming = gs.forming;
@@ -1071,6 +1078,7 @@ fn pick_scored(
             order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             sh.ranked.insert(key.to_string(), Ranked { order, cursor: 0 });
         }
+        // PANIC: the branch above inserted this key when it was absent.
         let ranked = sh.ranked.get_mut(key).expect("ranking just built");
         if peered {
             // Gang context shifts every machine's score by its own
@@ -1163,6 +1171,8 @@ impl<'a> ClusterRunner<'a> {
             cfg.machines
         );
         if let Err(why) = cfg.faults.validate(cfg.machines) {
+            // PANIC: constructor contract — an invalid fault plan is a
+            // configuration bug, not a runtime condition.
             panic!("invalid fault plan: {why}");
         }
         ClusterRunner {
@@ -1351,6 +1361,8 @@ impl<'a> ClusterRunner<'a> {
                 ),
                 None => (
                     self.build_engines(None)
+                        // PANIC: with no resume sections there is nothing
+                        // to validate, so construction cannot fail.
                         .expect("fresh engine construction is infallible"),
                     0,
                     SimTime::ZERO,
@@ -1364,6 +1376,8 @@ impl<'a> ClusterRunner<'a> {
         let mut sched = Scheduler::new(cfg, pods, map, managed);
         if let Some(st) = &resume_sched {
             sched
+                // PANIC: resume() already validated this state against
+                // the same config before handing it over.
                 .restore_state(st)
                 .expect("scheduler state validated by resume()");
         }
@@ -1394,6 +1408,8 @@ impl<'a> ClusterRunner<'a> {
         let done = AtomicBool::new(false);
 
         let advance = |i: usize, target: SimTime| {
+            // PANIC: a poisoned lock means a worker already panicked —
+            // propagating the abort is the only sound option.
             let mut engine = slots[i].lock().expect("engine slot poisoned");
             engine.run_until(target);
             if target != SimTime::MAX {
@@ -1443,6 +1459,7 @@ impl<'a> ClusterRunner<'a> {
             let have_faults = !sched.plan.is_empty();
             while t < end {
                 if managed || have_faults {
+                    // PANIC: poisoned lock = a worker already panicked.
                     let mut guards: Vec<MutexGuard<'_, Engine>> =
                         slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
                     // Faults first: a machine crashing at this barrier
@@ -1456,6 +1473,7 @@ impl<'a> ClusterRunner<'a> {
                 }
                 let next = (t + epoch).min(end);
                 run_to(next);
+                // PANIC: poisoned lock = a worker already panicked.
                 let mut guards: Vec<MutexGuard<'_, Engine>> =
                     slots.iter().map(|m| m.lock().expect("engine slot poisoned")).collect();
                 sched.merge(&mut guards, next);
@@ -1503,10 +1521,12 @@ impl<'a> ClusterRunner<'a> {
             done.store(true, Ordering::Release);
             barrier.wait();
         })
+        // PANIC: re-raise a worker thread's panic on the coordinator.
         .expect("cluster worker panicked");
 
         let mut outputs: Vec<_> = slots
             .into_iter()
+            // PANIC: poisoned lock = a worker already panicked.
             .map(|m| m.into_inner().expect("engine slot poisoned"))
             .map(Engine::finish_run)
             .collect();

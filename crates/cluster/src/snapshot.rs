@@ -357,6 +357,7 @@ impl ClusterSnapshot {
                 Ok(())
             })?;
         }
+        // PANIC: read("scheduler") either filled it or returned Missing.
         let scheduler = scheduler.expect("scheduler section read");
         if pods == 0 || replicas == 0 || machines != replicas * pods {
             return Err(SnapshotError::Corrupt(format!(

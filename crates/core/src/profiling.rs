@@ -119,6 +119,7 @@ fn extract_ground_truth(out: &EngineOutput, n: usize) -> (Vec<f64>, Vec<f64>, u6
     let sojourns = out
         .sojourns
         .as_ref()
+        // PANIC: the calibration run above enables sojourn capture.
         .expect("engine collected sojourns");
     let mut means = Vec::with_capacity(n);
     let mut covs = Vec::with_capacity(n);

@@ -380,6 +380,7 @@ struct NodeTables {
     inflation: Vec<f64>,
     /// Transition-moment sum `Σ Δⱼ·tⱼ` in ns·workers (signed: a node
     /// that went idle after accruing area holds a negative sum).
+    // lint:allow(S02) -- derived: encode writes settled_area(i); decode re-derives the moment sum
     busy_tweight: Vec<i128>,
     /// Time of each node's last busy transition.
     last_busy_change: Vec<SimTime>,
@@ -389,6 +390,7 @@ struct NodeTables {
     /// workers). Derived from the hot fields — never read between
     /// flushes; kept so each flush can assert monotonicity against the
     /// previous one in debug builds.
+    // lint:allow(S02) -- derived: encode writes settled_area(i), which folds this with the moment sum
     busy_area: Vec<u128>,
     /// Cold side table: per-node FIFO of waiting `(request, visit)`
     /// phases, only touched when a node has no free worker.
@@ -1036,6 +1038,7 @@ impl Engine {
         self.nodes.last_busy_change[node] = now;
         if let Some(log) = self.busy_log.as_mut() {
             log.push(BusyTransition {
+                // lint:allow(D05) -- node indexes the per-machine node tables, far below u32::MAX
                 node: node as u32,
                 at: now,
                 delta: eff as i32,
@@ -1044,6 +1047,8 @@ impl Engine {
     }
 
     fn enqueue_phase(&mut self, now: SimTime, req: ReqKey, visit: usize) {
+        // PANIC: req keys flow from calendar events scheduled while the
+        // request was live; the arena removes a key exactly once.
         let node = self.requests.get(req).expect("request exists").visits[visit].node;
         if self.nodes.busy[node] < self.nodes.workers[node] {
             self.start_phase(now, req, visit);
@@ -1056,6 +1061,7 @@ impl Engine {
         let node;
         let dur_ms;
         {
+            // PANIC: req keys flow from live-request calendar events.
             let r = self.requests.get_mut(req).expect("request exists");
             let v = &mut r.visits[visit];
             node = v.node;
@@ -1098,6 +1104,8 @@ impl Engine {
     }
 
     fn on_phase_end(&mut self, now: SimTime, req: ReqKey, visit: usize) {
+        // PANIC: req keys flow from calendar events scheduled while the
+        // request was live; the arena removes a key exactly once.
         let node = self.requests.get(req).expect("request exists").visits[visit].node;
         self.update_busy(node, now, -1);
         // Start the next queued phase on this node.
@@ -1113,6 +1121,7 @@ impl Engine {
             Wait,
         }
         let adv = {
+            // PANIC: req keys flow from live-request calendar events.
             let r = self.requests.get_mut(req).expect("request exists");
             let v = &mut r.visits[visit];
             let started = v.phase_start;
@@ -1142,6 +1151,7 @@ impl Engine {
             Advance::Dispatch { first, count } => {
                 for slot in first..first + count {
                     let child =
+                        // PANIC: req keys flow from live-request calendar events.
                         self.requests.get(req).expect("request exists").visits[visit].children[slot];
                     self.enqueue_phase(now, req, child);
                 }
@@ -1155,10 +1165,12 @@ impl Engine {
     }
 
     fn on_visit_complete(&mut self, now: SimTime, req: ReqKey, visit: usize) {
+        // PANIC: req keys flow from live-request calendar events.
         let parent = self.requests.get(req).expect("request exists").visits[visit].parent;
         match parent {
             Some((p, _slot)) => {
                 let resume = {
+                    // PANIC: req keys flow from live-request calendar events.
                     let r = self.requests.get_mut(req).expect("request exists");
                     let pv = &mut r.visits[p];
                     if pv.parallel {
@@ -1177,6 +1189,7 @@ impl Engine {
     }
 
     fn on_request_complete(&mut self, now: SimTime, req: ReqKey) {
+        // PANIC: completion fires once per request — the key is still live.
         let r = self.requests.remove(req).expect("request exists");
         let latency_ms = now.saturating_since(r.arrival).as_millis_f64();
         self.tail.record(now, latency_ms);
@@ -1471,6 +1484,7 @@ impl Engine {
                     .copied()
                     .collect();
                 for id in dead {
+                    // PANIC: `dead` was collected from this ledger just above.
                     let p = ledger.remove(&id).expect("dead id came from ledger");
                     telemetry.recorder.record(
                         now,

@@ -32,7 +32,8 @@ pub enum TokenKind {
     Comment,
 }
 
-/// One lexed token with the 1-based line it starts on.
+/// One lexed token with the 1-based line it starts on and its byte span
+/// in the source.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Token {
     /// Coarse token class.
@@ -41,6 +42,13 @@ pub struct Token {
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
+    /// Byte offset of the token's first character in the source.
+    pub offset: usize,
+    /// Byte offset one past the token's last character. `src[offset..end]`
+    /// is the exact source extent — note it can differ from `text` for
+    /// raw identifiers (`r#type` → text `type`) and lifetimes (the
+    /// leading quote is in the span but not the text).
+    pub end: usize,
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -59,6 +67,8 @@ pub fn lex(src: &str) -> Vec<Token> {
         chars: src.chars().collect(),
         i: 0,
         line: 1,
+        off: 0,
+        start: 0,
         out: Vec::new(),
     }
     .run()
@@ -68,6 +78,10 @@ struct Lexer {
     chars: Vec<char>,
     i: usize,
     line: u32,
+    /// Byte offset of the cursor (`self.i`) in the source.
+    off: usize,
+    /// Byte offset where the token currently being lexed started.
+    start: usize,
     out: Vec<Token>,
 }
 
@@ -80,6 +94,7 @@ impl Lexer {
         let c = self.chars.get(self.i).copied();
         if let Some(c) = c {
             self.i += 1;
+            self.off += c.len_utf8();
             if c == '\n' {
                 self.line += 1;
             }
@@ -88,11 +103,19 @@ impl Lexer {
     }
 
     fn push(&mut self, kind: TokenKind, text: String, line: u32) {
-        self.out.push(Token { kind, text, line });
+        let (offset, end) = (self.start, self.off);
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            offset,
+            end,
+        });
     }
 
     fn run(mut self) -> Vec<Token> {
         while let Some(c) = self.peek(0) {
+            self.start = self.off;
             match c {
                 c if c.is_whitespace() => {
                     self.bump();
@@ -494,6 +517,26 @@ mod tests {
         let ids = idents(r##"let a = b"unsafe"; let c = b'x'; let r = br#"HashMap"#;"##);
         assert!(!ids.contains(&"unsafe".to_string()));
         assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn byte_spans_tile_the_source() {
+        let src = "let r#type = \"s\"; 'a 'b' /* c */ é_ident 1.5f32";
+        let toks = lex(src);
+        let mut last_end = 0usize;
+        for t in &toks {
+            assert!(t.offset >= last_end, "overlap at {:?}", t);
+            assert!(t.offset < t.end, "empty span at {:?}", t);
+            assert!(t.end <= src.len());
+            assert!(src.is_char_boundary(t.offset) && src.is_char_boundary(t.end));
+            last_end = t.end;
+        }
+        // Raw identifier: the span covers `r#type`, the text is bare.
+        let raw = toks.iter().find(|t| t.text == "type").expect("raw ident");
+        assert_eq!(&src[raw.offset..raw.end], "r#type");
+        // Lifetime: the span includes the quote the text drops.
+        let lt = toks.iter().find(|t| t.kind == TokenKind::Lifetime).expect("lifetime");
+        assert_eq!(&src[lt.offset..lt.end], "'a");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod itemtree;
 pub mod lexer;
 pub mod rules;
 pub mod scope;
@@ -141,6 +142,36 @@ pub fn render_text(report: &WorkspaceReport) -> String {
     s
 }
 
+/// Escapes a value for a GitHub Actions workflow-command *message*
+/// (the part after `::`): `%`, `\r`, `\n` become `%25`, `%0D`, `%0A`.
+fn gh_escape_data(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escapes a value for a workflow-command *property* (`file=`,
+/// `title=`): data escaping plus `:` and `,`, which delimit properties.
+fn gh_escape_prop(s: &str) -> String {
+    gh_escape_data(s).replace(':', "%3A").replace(',', "%2C")
+}
+
+/// Renders findings as GitHub Actions error annotations
+/// (`::error file=...,line=...,title=...::message`), one per line, in
+/// the report's sorted order. Suppressed findings are not annotated.
+/// Empty when the workspace is clean.
+pub fn render_github(report: &WorkspaceReport) -> String {
+    let mut s = String::new();
+    for f in &report.findings {
+        s.push_str(&format!(
+            "::error file={},line={},title=rhythm-lint {}::{}\n",
+            gh_escape_prop(&f.file),
+            f.line,
+            f.rule,
+            gh_escape_data(&f.message)
+        ));
+    }
+    s
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
@@ -241,6 +272,26 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("a\\\"b.rs"));
         assert!(a.contains("backslash \\\\"));
+    }
+
+    #[test]
+    fn render_github_escapes_workflow_commands() {
+        let report = WorkspaceReport {
+            files_scanned: 1,
+            findings: vec![Finding {
+                file: "crates/core/src/a.rs".to_string(),
+                line: 7,
+                rule: "P01",
+                message: "50% done\nnext".to_string(),
+            }],
+            suppressed: vec![],
+        };
+        assert_eq!(
+            render_github(&report),
+            "::error file=crates/core/src/a.rs,line=7,title=rhythm-lint P01::50%25 done%0Anext\n"
+        );
+        let clean = WorkspaceReport::default();
+        assert!(render_github(&clean).is_empty());
     }
 
     #[test]

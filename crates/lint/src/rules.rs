@@ -18,6 +18,9 @@
 //! | H01  | every `#[allow(...)]` needs a justification | everywhere |
 //! | A01  | every `// lint:allow(...)` pragma needs a reason | everywhere |
 //! | S01  | no hash containers or raw-pointer fields in snapshot state types | snapshot-tagged lib modules |
+//! | S02  | snapshot encode/decode cover every struct field, same order | lib code (syntactic, via [`crate::itemtree`]) |
+//! | D05  | no lossy `as` casts (truncation / signedness change) | deterministic crates + `snapshot`, lib code |
+//! | P01  | `unwrap`/`expect`/`panic!` need a `// PANIC:` justification | `core`, `cluster`, `snapshot` lib code |
 //!
 //! A module is *snapshot-tagged* when its file is named `snapshot.rs` or
 //! it carries a `// lint:snapshot-state` marker comment: its types are
@@ -96,6 +99,18 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "S01",
         summary: "no hash containers or raw-pointer fields in snapshot state types",
+    },
+    RuleInfo {
+        id: "S02",
+        summary: "snapshot encode/decode must cover every struct field in the same order",
+    },
+    RuleInfo {
+        id: "D05",
+        summary: "no lossy numeric `as` casts (truncation or signedness change) in deterministic crates",
+    },
+    RuleInfo {
+        id: "P01",
+        summary: "unwrap/expect/panic! in core/cluster/snapshot lib code requires a // PANIC: comment",
     },
 ];
 
@@ -180,6 +195,19 @@ pub fn lint_tokens(rel_path: &str, tokens: &[Token]) -> FileLint {
     h01_allow_justified(rel_path, &code, &comments, &mut raw);
     if s01_applies(&scope, rel_path, &comments) {
         s01_snapshot_state(rel_path, &code, &in_test, &mut raw);
+    }
+    // The syntactic rules share one item-tree parse per file.
+    if s02_applies(&scope) || d05_applies(&scope) {
+        let tree = crate::itemtree::parse(&code);
+        if s02_applies(&scope) {
+            s02_field_coverage(rel_path, &tree, &code, &in_test, &mut raw);
+        }
+        if d05_applies(&scope) {
+            d05_lossy_casts(rel_path, &tree, &code, &in_test, &mut raw);
+        }
+    }
+    if p01_applies(&scope) {
+        p01_panic_paths(rel_path, &code, &comments, &in_test, &mut raw);
     }
 
     // Apply suppression: a well-formed pragma covers its own line and the
@@ -327,6 +355,573 @@ fn s01_snapshot_state(
             }
         }
         i = j.max(i + 1);
+    }
+}
+
+/// S02 is purely syntactic: it needs the struct definition and the
+/// encode/decode bodies in the same lib file, wherever that file lives.
+fn s02_applies(scope: &FileScope) -> bool {
+    scope.kind == FileKind::Lib
+}
+
+/// D05 guards the integer identities (busy integrals, fingerprints) in
+/// the deterministic crates plus the snapshot codec itself.
+fn d05_applies(scope: &FileScope) -> bool {
+    scope.kind == FileKind::Lib
+        && (DETERMINISTIC_CRATES.contains(&scope.crate_name.as_str())
+            || scope.crate_name == "snapshot")
+}
+
+/// Crates whose lib code must justify every panic path: they run inside
+/// the resumable engine/scheduler where an abort corrupts nothing only
+/// because snapshots exist — each panic must argue its impossibility.
+pub const PANIC_AUDITED_CRATES: &[&str] = &["core", "cluster", "snapshot"];
+
+fn p01_applies(scope: &FileScope) -> bool {
+    scope.kind == FileKind::Lib && PANIC_AUDITED_CRATES.contains(&scope.crate_name.as_str())
+}
+
+/// S02: for every encode/decode pair of a struct defined in this file —
+/// `impl Snapshot for T { fn encode / fn decode }` or an inherent
+/// `fn encode_<x>` / `fn decode_<x>` pair — every non-`cfg`-gated field
+/// of `T` must appear in both bodies (encode as `self.<field>`, decode
+/// as any mention of the field name), and the fields' first-occurrence
+/// order in decode must match encode: the wire format reads what was
+/// written, in the order it was written. Findings anchor at the field's
+/// declaration line so a per-field `lint:allow(S02)` pragma (derived /
+/// reconstructed fields) sits next to the field it excuses.
+fn s02_field_coverage(
+    rel_path: &str,
+    tree: &crate::itemtree::ItemTree,
+    code: &[&Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    // (struct, encode fn, decode fn) pairs discovered in this file.
+    let mut pairs: Vec<(&crate::itemtree::StructDef, &crate::itemtree::FnDef, &crate::itemtree::FnDef)> =
+        Vec::new();
+    for imp in &tree.impls {
+        if in_test(imp.line) {
+            continue;
+        }
+        let Some(strukt) = tree.struct_named(&imp.type_name) else {
+            continue;
+        };
+        if strukt.fields.is_none() || in_test(strukt.line) {
+            continue;
+        }
+        let fn_named = |name: &str| {
+            imp.fns
+                .iter()
+                .map(|&i| &tree.fns[i])
+                .find(|f| f.name == name && f.body.is_some())
+        };
+        if imp.trait_name.as_deref() == Some("Snapshot") {
+            if let (Some(enc), Some(dec)) = (fn_named("encode"), fn_named("decode")) {
+                pairs.push((strukt, enc, dec));
+            }
+        } else if imp.trait_name.is_none() {
+            // Inherent `encode_<x>` pairs with `decode_<x>` (same suffix),
+            // in this impl block; the plain `encode`/`decode` pair too.
+            for &fi in &imp.fns {
+                let enc = &tree.fns[fi];
+                let Some(suffix) = enc.name.strip_prefix("encode") else {
+                    continue;
+                };
+                if enc.body.is_none() || (!suffix.is_empty() && !suffix.starts_with('_')) {
+                    continue;
+                }
+                if let Some(dec) = fn_named(&format!("decode{suffix}")) {
+                    pairs.push((strukt, enc, dec));
+                }
+            }
+        }
+    }
+    for (strukt, enc, dec) in pairs {
+        check_snapshot_pair(rel_path, strukt, enc, dec, code, out);
+    }
+}
+
+/// First token index in `body` where `self.<name>` occurs, for each
+/// name; plus the `self.<ident>` mentions that are *not* fields and not
+/// method calls (no `(` after the ident).
+fn self_field_mentions(
+    code: &[&Token],
+    body: (usize, usize),
+    fields: &[String],
+) -> (Vec<Option<usize>>, Vec<(usize, String)>) {
+    let mut firsts: Vec<Option<usize>> = vec![None; fields.len()];
+    let mut extras = Vec::new();
+    let (lo, hi) = body;
+    for k in lo..hi.min(code.len()) {
+        if k < 2
+            || code[k].kind != TokenKind::Ident
+            || !is_punct(code[k - 1], '.')
+            || !is_ident(code[k - 2], "self")
+        {
+            continue;
+        }
+        if let Some(fi) = fields.iter().position(|f| f == &code[k].text) {
+            if firsts[fi].is_none() {
+                firsts[fi] = Some(k);
+            }
+        } else if !code.get(k + 1).is_some_and(|t| is_punct(t, '(')) {
+            extras.push((k, code[k].text.clone()));
+        }
+    }
+    (firsts, extras)
+}
+
+fn check_snapshot_pair(
+    rel_path: &str,
+    strukt: &crate::itemtree::StructDef,
+    enc: &crate::itemtree::FnDef,
+    dec: &crate::itemtree::FnDef,
+    code: &[&Token],
+    out: &mut Vec<Finding>,
+) {
+    let all_fields = strukt.fields.as_deref().unwrap_or(&[]);
+    let covered: Vec<&crate::itemtree::Field> =
+        all_fields.iter().filter(|f| !f.cfg_gated).collect();
+    let names: Vec<String> = covered.iter().map(|f| f.name.clone()).collect();
+    let enc_body = enc.body.unwrap_or((0, 0));
+    let dec_body = dec.body.unwrap_or((0, 0));
+    let (enc_first, enc_extras) = self_field_mentions(code, enc_body, &names);
+    // Decode has no `self`: a field counts as mentioned at its first
+    // appearance as a bare identifier (`let jobs = ...; Self { jobs }`).
+    let mut dec_first: Vec<Option<usize>> = vec![None; names.len()];
+    let dec_range = dec_body.0..dec_body.1.min(code.len());
+    for (k, tok) in code.iter().enumerate().take(dec_range.end).skip(dec_range.start) {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some(fi) = names.iter().position(|n| n == &tok.text) {
+            if dec_first[fi].is_none() {
+                dec_first[fi] = Some(k);
+            }
+        }
+    }
+    for (fi, field) in covered.iter().enumerate() {
+        if enc_first[fi].is_none() {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: field.line,
+                rule: "S02",
+                message: format!(
+                    "snapshot field `{}` of `{}` is never written in `{}` — resume would lose \
+                     it; encode it or `lint:allow(S02)` with a reason if derived",
+                    field.name, strukt.name, enc.name
+                ),
+            });
+        }
+        if dec_first[fi].is_none() {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: field.line,
+                rule: "S02",
+                message: format!(
+                    "snapshot field `{}` of `{}` is never read in `{}` — decode must consume \
+                     every encoded field; or `lint:allow(S02)` with a reason if reconstructed",
+                    field.name, strukt.name, dec.name
+                ),
+            });
+        }
+    }
+    for (k, name) in enc_extras {
+        out.push(Finding {
+            file: rel_path.to_string(),
+            line: code[k].line,
+            rule: "S02",
+            message: format!(
+                "`self.{name}` written in `{}` is not a field of `{}` — encode and struct \
+                 definition disagree",
+                enc.name, strukt.name
+            ),
+        });
+    }
+    // Ordering: among fields present in both bodies, decode's
+    // first-occurrence order must be monotone in encode's.
+    let mut both: Vec<(usize, usize, usize)> = covered
+        .iter()
+        .enumerate()
+        .filter_map(|(fi, _)| Some((fi, enc_first[fi]?, dec_first[fi]?)))
+        .collect();
+    both.sort_by_key(|&(_, e, _)| e);
+    let mut max_dec = 0usize;
+    for &(fi, _, d) in &both {
+        if d < max_dec {
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: covered[fi].line,
+                rule: "S02",
+                message: format!(
+                    "snapshot field `{}` of `{}` is decoded out of encode order — `{}` must \
+                     read fields in the order `{}` writes them",
+                    covered[fi].name, strukt.name, dec.name, enc.name
+                ),
+            });
+        }
+        max_dec = max_dec.max(d);
+    }
+}
+
+/// Integer primitive → (bit width, signed). `usize`/`isize` are treated
+/// as 64-bit: every supported target is 64-bit and the snapshot wire
+/// format already assumes it.
+fn int_prim(ty: &str) -> Option<(u16, bool)> {
+    Some(match ty {
+        "u8" => (8, false),
+        "u16" => (16, false),
+        "u32" => (32, false),
+        "u64" => (64, false),
+        "u128" => (128, false),
+        "usize" => (64, false),
+        "i8" => (8, true),
+        "i16" => (16, true),
+        "i32" => (32, true),
+        "i64" => (64, true),
+        "i128" => (128, true),
+        "isize" => (64, true),
+        _ => return None,
+    })
+}
+
+fn float_prim(ty: &str) -> Option<u16> {
+    match ty {
+        "f32" => Some(32),
+        "f64" => Some(64),
+        _ => None,
+    }
+}
+
+/// Why `src as dst` can lose information, or `None` when it cannot.
+fn cast_loss(src: &str, dst: &str) -> Option<&'static str> {
+    if let (Some((sb, ss)), Some((db, ds))) = (int_prim(src), int_prim(dst)) {
+        if db < sb {
+            return Some("truncates high bits");
+        }
+        if ss && !ds {
+            return Some("negative values wrap");
+        }
+        if !ss && ds && db <= sb {
+            return Some("large values change sign");
+        }
+        return None;
+    }
+    if float_prim(src).is_some() && int_prim(dst).is_some() {
+        return Some("truncates the fraction and saturates");
+    }
+    if let (Some(sb), Some(db)) = (float_prim(src), float_prim(dst)) {
+        if db < sb {
+            return Some("loses precision");
+        }
+    }
+    // int → float is deliberate policy: rounding above 2^53 is a
+    // metrics concern, not a truncation, and flagging it would bury the
+    // report in reporting-path noise.
+    None
+}
+
+/// The primitive named by a type annotation like `u64` (a single
+/// token, ignoring a leading `&`).
+fn prim_head(ty: &[String]) -> Option<&str> {
+    let ty = if ty.first().is_some_and(|t| t == "&") { &ty[1..] } else { ty };
+    match ty {
+        [p] if int_prim(p).is_some() || float_prim(p).is_some() => Some(p),
+        _ => None,
+    }
+}
+
+/// The element primitive of `Vec<prim>` or `[prim; N]`.
+fn elem_prim(ty: &[String]) -> Option<&str> {
+    match ty {
+        [v, lt, p, ..] if v == "Vec" && lt == "<" => {
+            (int_prim(p).is_some() || float_prim(p).is_some()).then_some(p.as_str())
+        }
+        [lb, p, semi, ..] if lb == "[" && semi == ";" => {
+            (int_prim(p).is_some() || float_prim(p).is_some()).then_some(p.as_str())
+        }
+        _ => None,
+    }
+}
+
+/// The numeric suffix of a literal token (`42u128` → `u128`).
+fn literal_suffix(text: &str) -> Option<&'static str> {
+    const SUFFIXES: &[&str] = &[
+        "u128", "usize", "u16", "u32", "u64", "u8", "i128", "isize", "i16", "i32", "i64", "i8",
+        "f32", "f64",
+    ];
+    SUFFIXES.iter().find(|s| text.ends_with(**s)).copied()
+}
+
+/// One locally-visible typed binding inside a fn body: a parameter or a
+/// `let <name>: <ty>` statement, at token index `at`.
+struct LocalBinding {
+    at: usize,
+    name: String,
+    ty: Vec<String>,
+}
+
+/// D05: flag `as` casts whose source type is locally evident and whose
+/// (source, target) pair can truncate or change signedness. Source
+/// types come from literal suffixes, `let name: ty` bindings, fn
+/// parameters, `self.field` / `self.field[...]` against same-file
+/// struct definitions, `.len()`/`.capacity()` (→ `usize`), and `as T1
+/// as T2` chains. Anything the file does not annotate is skipped — a
+/// syntactic pass must under-approximate, not guess (DESIGN.md §10).
+fn d05_lossy_casts(
+    rel_path: &str,
+    tree: &crate::itemtree::ItemTree,
+    code: &[&Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    // Map each fn to its enclosing impl's self-type fields (if any).
+    let mut fn_self_fields: Vec<Option<&Vec<crate::itemtree::Field>>> = vec![None; tree.fns.len()];
+    for imp in &tree.impls {
+        let fields = tree
+            .struct_named(&imp.type_name)
+            .and_then(|s| s.fields.as_ref());
+        for &fi in &imp.fns {
+            fn_self_fields[fi] = fields;
+        }
+    }
+    for (fi, f) in tree.fns.iter().enumerate() {
+        let Some((lo, hi)) = f.body else { continue };
+        let hi = hi.min(code.len());
+        // Locally-visible typed bindings: params first, then `let`s.
+        let mut env: Vec<LocalBinding> = f
+            .params
+            .iter()
+            .map(|(name, ty)| LocalBinding { at: lo, name: name.clone(), ty: ty.clone() })
+            .collect();
+        let mut k = lo;
+        while k < hi {
+            if is_ident(code[k], "let") {
+                let mut j = k + 1;
+                if j < hi && is_ident(code[j], "mut") {
+                    j += 1;
+                }
+                if j + 1 < hi && code[j].kind == TokenKind::Ident && is_punct(code[j + 1], ':') {
+                    let ty_end = scan_past_type(code, j + 2, hi);
+                    env.push(LocalBinding {
+                        at: j,
+                        name: code[j].text.clone(),
+                        ty: code[j + 2..ty_end].iter().map(|t| t.text.clone()).collect(),
+                    });
+                }
+            }
+            k += 1;
+        }
+        for k in lo..hi {
+            if !is_ident(code[k], "as") || in_test(code[k].line) {
+                continue;
+            }
+            let Some(dst) = code.get(k + 1).filter(|t| t.kind == TokenKind::Ident) else {
+                continue;
+            };
+            if int_prim(&dst.text).is_none() && float_prim(&dst.text).is_none() {
+                continue;
+            }
+            let Some(src) = resolve_cast_source(code, lo, k, &env, fn_self_fields[fi]) else {
+                continue;
+            };
+            if let Some(why) = cast_loss(&src, &dst.text) {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: code[k].line,
+                    rule: "D05",
+                    message: format!(
+                        "lossy cast `{src} as {}` — {why}; use `try_into` or widen the target",
+                        dst.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Advances past a type annotation starting at `j`: stops at a depth-0
+/// `=`, `;`, or `)` (tracking `<>`, `()`, `[]`).
+fn scan_past_type(code: &[&Token], j: usize, hi: usize) -> usize {
+    let mut k = j;
+    let mut angle = 0usize;
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    while k < hi {
+        let t = code[k];
+        if angle == 0 && paren == 0 && bracket == 0 {
+            if is_punct(t, '=') || is_punct(t, ';') {
+                return k;
+            }
+            if is_punct(t, ')') {
+                return k;
+            }
+        }
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') {
+            angle = angle.saturating_sub(1);
+        } else if is_punct(t, '(') {
+            paren += 1;
+        } else if is_punct(t, ')') {
+            paren = paren.saturating_sub(1);
+        } else if is_punct(t, '[') {
+            bracket += 1;
+        } else if is_punct(t, ']') {
+            bracket = bracket.saturating_sub(1);
+        }
+        k += 1;
+    }
+    hi
+}
+
+/// The matching opener index for the closer at `b`, scanning back no
+/// further than `lo`.
+fn match_back(code: &[&Token], lo: usize, b: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut k = b;
+    loop {
+        if is_punct(code[k], close) {
+            depth += 1;
+        } else if is_punct(code[k], open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        if k == lo {
+            return None;
+        }
+        k -= 1;
+    }
+}
+
+/// Resolves the source type of the cast whose `as` sits at `as_idx`,
+/// looking only at the token(s) immediately before it. Returns `None`
+/// when the type is not locally evident.
+fn resolve_cast_source(
+    code: &[&Token],
+    lo: usize,
+    as_idx: usize,
+    env: &[LocalBinding],
+    self_fields: Option<&Vec<crate::itemtree::Field>>,
+) -> Option<String> {
+    if as_idx == 0 || as_idx <= lo {
+        return None;
+    }
+    let b = as_idx - 1;
+    let t = code[b];
+    // `42u128 as u64`
+    if t.kind == TokenKind::Num {
+        return literal_suffix(&t.text).map(str::to_string);
+    }
+    if t.kind == TokenKind::Ident {
+        // `x as u128 as u64` — the chained source is the previous target.
+        if b > lo && is_ident(code[b - 1], "as")
+            && (int_prim(&t.text).is_some() || float_prim(&t.text).is_some())
+        {
+            return Some(t.text.clone());
+        }
+        // `self.field as _`
+        if b >= 2 && is_punct(code[b - 1], '.') && is_ident(code[b - 2], "self") {
+            let f = self_fields?.iter().find(|f| f.name == t.text)?;
+            return prim_head(&f.ty).map(str::to_string);
+        }
+        // An annotated local or parameter: nearest binding before use.
+        let bind = env
+            .iter()
+            .filter(|e| e.name == t.text && e.at <= b)
+            .max_by_key(|e| e.at)?;
+        return prim_head(&bind.ty).map(str::to_string);
+    }
+    if is_punct(t, ')') {
+        let open = match_back(code, lo, b, '(', ')')?;
+        // `x.len() as _` / `x.capacity() as _`
+        if open >= 2
+            && open + 1 == b
+            && code[open - 1].kind == TokenKind::Ident
+            && (code[open - 1].text == "len" || code[open - 1].text == "capacity")
+            && is_punct(code[open - 2], '.')
+        {
+            return Some("usize".to_string());
+        }
+        // `(x) as _` — a grouping paren (no call head) around one token.
+        let call_head = open > lo
+            && (code[open - 1].kind == TokenKind::Ident
+                || is_punct(code[open - 1], ')')
+                || is_punct(code[open - 1], ']'));
+        if !call_head && open + 2 == b {
+            return resolve_cast_source(code, lo, open + 2, env, self_fields);
+        }
+        return None;
+    }
+    if is_punct(t, ']') {
+        let open = match_back(code, lo, b, '[', ']')?;
+        if open == lo || open == 0 {
+            return None;
+        }
+        let head = open - 1;
+        if code[head].kind != TokenKind::Ident {
+            return None;
+        }
+        // `self.field[i] as _`
+        if head >= 2 && is_punct(code[head - 1], '.') && is_ident(code[head - 2], "self") {
+            let f = self_fields?.iter().find(|f| f.name == code[head].text)?;
+            return elem_prim(&f.ty).map(str::to_string);
+        }
+        // `local[i] as _`
+        let bind = env
+            .iter()
+            .filter(|e| e.name == code[head].text && e.at <= head)
+            .max_by_key(|e| e.at)?;
+        return elem_prim(&bind.ty).map(str::to_string);
+    }
+    None
+}
+
+/// P01: in the panic-audited crates, every `.unwrap()`, `.expect(` and
+/// `panic!` in lib code needs a `// PANIC:` comment on its line or
+/// within the three lines above — the justification that this path is
+/// unreachable or that aborting beats corrupting resumable state.
+fn p01_panic_paths(
+    rel_path: &str,
+    code: &[&Token],
+    comments: &[&Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let justified = |line: u32| {
+        let lo = line.saturating_sub(3);
+        comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= line && c.text.contains("PANIC:"))
+    };
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let call = (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && is_punct(code[i - 1], '.')
+            && code.get(i + 1).is_some_and(|n| is_punct(n, '('));
+        let mac = t.text == "panic" && code.get(i + 1).is_some_and(|n| is_punct(n, '!'));
+        if (call || mac) && !justified(t.line) {
+            let what = if mac {
+                "panic!".to_string()
+            } else {
+                format!(".{}()", t.text)
+            };
+            out.push(Finding {
+                file: rel_path.to_string(),
+                line: t.line,
+                rule: "P01",
+                message: format!(
+                    "`{what}` without a `// PANIC:` justification — document why this cannot \
+                     fail (or return an error instead)"
+                ),
+            });
+        }
     }
 }
 
@@ -973,5 +1568,227 @@ mod tests {
         assert!(l.findings.is_empty());
         assert_eq!(l.suppressed.len(), 1);
         assert_eq!(l.suppressed[0].finding.rule, "S01");
+    }
+
+    // ---- S02: snapshot field coverage -------------------------------
+
+    const S02_OK: &str = "\
+pub struct P { pub a: u64, pub b: u32 }\n\
+impl Snapshot for P {\n\
+    fn encode(&self, w: &mut Writer) { w.u64(self.a); w.u32(self.b); }\n\
+    fn decode(r: &mut Reader) -> Result<Self, E> {\n\
+        let a = r.u64()?;\n\
+        let b = r.u32()?;\n\
+        Ok(Self { a, b })\n\
+    }\n\
+}\n";
+
+    #[test]
+    fn s02_clean_pair_passes() {
+        assert!(run("crates/cluster/src/snapshot.rs", S02_OK).findings.is_empty());
+    }
+
+    #[test]
+    fn s02_missing_encode_field_is_found_at_field_line() {
+        let src = S02_OK.replace("w.u32(self.b); ", "");
+        let l = run("crates/cluster/src/snapshot.rs", &src);
+        assert_eq!(
+            l.findings.iter().map(Finding::render).collect::<Vec<_>>(),
+            vec![
+                "crates/cluster/src/snapshot.rs:1: S02 snapshot field `b` of `P` is never \
+                 written in `encode` — resume would lose it; encode it or `lint:allow(S02)` \
+                 with a reason if derived"
+                    .to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn s02_missing_decode_field_is_found() {
+        let src = S02_OK
+            .replace("let b = r.u32()?;\n", "")
+            .replace("Ok(Self { a, b })", "Ok(Self { a, b: 0 })");
+        // `b: 0` still mentions `b`, so drop it entirely:
+        let src = src.replace("Ok(Self { a, b: 0 })", "Ok(Self { a, ..Default::default() })");
+        let l = run("crates/cluster/src/snapshot.rs", &src);
+        assert_eq!(rules_of(&l), vec!["S02"]);
+        assert!(l.findings[0].message.contains("`b` of `P` is never read in `decode`"));
+    }
+
+    #[test]
+    fn s02_reordered_decode_is_found() {
+        let src = S02_OK
+            .replace(
+                "let a = r.u64()?;\nlet b = r.u32()?;",
+                "let b = r.u32()?;\nlet a = r.u64()?;",
+            );
+        let l = run("crates/cluster/src/snapshot.rs", &src);
+        assert_eq!(rules_of(&l), vec!["S02"]);
+        assert!(l.findings[0].message.contains("decoded out of encode order"));
+        assert_eq!(l.findings[0].line, 1); // anchored at the field declaration
+    }
+
+    #[test]
+    fn s02_extra_encode_field_is_found() {
+        let src = S02_OK.replace("w.u32(self.b);", "w.u32(self.b); w.u8(self.ghost);");
+        let l = run("crates/cluster/src/snapshot.rs", &src);
+        assert_eq!(rules_of(&l), vec!["S02"]);
+        assert!(l.findings[0].message.contains("`self.ghost`"));
+        assert_eq!(l.findings[0].line, 3); // anchored at the stray write
+    }
+
+    #[test]
+    fn s02_inherent_encode_decode_pair_is_checked() {
+        let src = "\
+pub struct T { pub x: u64, pub y: u64 }\n\
+impl T {\n\
+    pub fn encode_node(&self, w: &mut W) { w.u64(self.x); }\n\
+    pub fn decode_node(r: &mut R) -> T { let x = r.u64(); T { x, y: 0 } }\n\
+}\n";
+        let l = run("crates/core/src/runtime.rs", src);
+        // `y` missing from encode; mentioned in decode (`y: 0`).
+        assert_eq!(rules_of(&l), vec!["S02"]);
+        assert!(l.findings[0].message.contains("`y` of `T` is never written in `encode_node`"));
+    }
+
+    #[test]
+    fn s02_field_pragma_suppresses_derived_fields() {
+        let src = "\
+pub struct T {\n\
+    pub x: u64,\n\
+    // lint:allow(S02) -- derived: recomputed from x on decode\n\
+    pub cache: u64,\n\
+}\n\
+impl Snapshot for T {\n\
+    fn encode(&self, w: &mut W) { w.u64(self.x); }\n\
+    fn decode(r: &mut R) -> Result<Self, E> { let x = r.u64()?; Ok(Self { x, cache: 0 }) }\n\
+}\n";
+        let l = run("crates/core/src/state.rs", src);
+        assert!(l.findings.is_empty(), "unexpected: {:?}", l.findings);
+        assert_eq!(l.suppressed.len(), 1);
+        assert_eq!(l.suppressed[0].finding.rule, "S02");
+    }
+
+    #[test]
+    fn s02_cfg_gated_fields_and_methods_are_exempt() {
+        let src = "\
+pub struct T {\n\
+    pub x: u64,\n\
+    #[cfg(feature = \"extra\")]\n\
+    pub opt: u64,\n\
+}\n\
+impl Snapshot for T {\n\
+    fn encode(&self, w: &mut W) { w.u64(self.x); w.u64(self.derived_sum()); }\n\
+    fn decode(r: &mut R) -> Result<Self, E> { let x = r.u64()?; Ok(Self { x }) }\n\
+}\n";
+        assert!(run("crates/core/src/state.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn s02_only_lib_files_are_checked() {
+        let bad = S02_OK.replace("w.u32(self.b); ", "");
+        assert!(run("crates/cluster/tests/snap.rs", &bad).findings.is_empty());
+        assert!(run("crates/cluster/examples/snap.rs", &bad).findings.is_empty());
+    }
+
+    // ---- D05: lossy casts -------------------------------------------
+
+    #[test]
+    fn d05_flags_annotated_lossy_casts() {
+        let src = "\
+fn f(x: u128, y: i64) -> u64 {\n\
+    let a: i128 = 5;\n\
+    let _ = a as i64;\n\
+    let _ = y as u64;\n\
+    (x as u64) + 2u128 as u64\n\
+}\n";
+        let l = run("crates/core/src/x.rs", src);
+        let lines: Vec<(u32, &str)> = l.findings.iter().map(|f| (f.line, f.rule)).collect();
+        assert_eq!(lines, vec![(3, "D05"), (4, "D05"), (5, "D05"), (5, "D05")]);
+        assert!(l.findings[0].message.contains("lossy cast `i128 as i64`"));
+        assert!(l.findings[1].message.contains("negative values wrap"));
+    }
+
+    #[test]
+    fn d05_widening_and_unknown_sources_pass() {
+        let src = "\
+fn f(x: u32, v: Vec<u64>) -> u128 {\n\
+    let a = x as u64;\n\
+    let b = helper() as u64;\n\
+    let c = v[0] as u128;\n\
+    (a as u128) + b as u128 + c\n\
+}\n";
+        assert!(run("crates/core/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn d05_len_and_field_sources() {
+        let src = "\
+struct S { counts: Vec<u128>, total: u64 }\n\
+impl S {\n\
+    fn f(&self, v: Vec<u8>) -> u32 {\n\
+        let a = v.len() as u32;\n\
+        let b = self.counts[0] as u64;\n\
+        let c = self.total as u32;\n\
+        a + b as u32 + c\n\
+    }\n\
+}\n";
+        let l = run("crates/sim/src/x.rs", src);
+        let lines: Vec<u32> = l.findings.iter().map(|f| f.line).collect();
+        // len() → usize as u32; counts elem u128 as u64; total u64 as u32;
+        // b (annotated via let? no — b is unannotated) … only the three.
+        assert_eq!(lines, vec![4, 5, 6]);
+        assert!(l.findings.iter().all(|f| f.rule == "D05"));
+    }
+
+    #[test]
+    fn d05_scope_is_deterministic_crates_plus_snapshot() {
+        let src = "fn f(x: u128) -> u64 { x as u64 }";
+        assert_eq!(rules_of(&run("crates/snapshot/src/lib.rs", src)), vec!["D05"]);
+        assert!(run("crates/bench/src/x.rs", src).findings.is_empty());
+        assert!(run("crates/core/tests/x.rs", src).findings.is_empty());
+    }
+
+    // ---- P01: panic paths -------------------------------------------
+
+    #[test]
+    fn p01_flags_unjustified_panics_in_audited_crates() {
+        let src = "\
+fn f(o: Option<u8>) -> u8 {\n\
+    let a = o.unwrap();\n\
+    let b = o.expect(\"present\");\n\
+    if a > b { panic!(\"impossible\"); }\n\
+    a\n\
+}\n";
+        let l = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&l), vec!["P01", "P01", "P01"]);
+        assert!(l.findings[0].message.contains("`.unwrap()`"));
+        assert!(l.findings[2].message.contains("`panic!`"));
+        // Outside the audited crates the same code is fine.
+        assert!(run("crates/sim/src/x.rs", src).findings.is_empty());
+        assert!(run("crates/core/tests/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn p01_panic_comment_window_justifies() {
+        let src = "\
+fn f(o: Option<u8>) -> u8 {\n\
+    // PANIC: o is Some by construction — caller checked is_some()\n\
+    o.unwrap()\n\
+}\n\
+fn g(o: Option<u8>) -> u8 {\n\
+    o.unwrap() // PANIC: infallible, o seeded above\n\
+}\n";
+        assert!(run("crates/cluster/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn p01_cfg_test_modules_are_exempt() {
+        let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { None::<u8>.unwrap(); panic!(\"boom\"); }\n\
+}\n";
+        assert!(run("crates/snapshot/src/lib.rs", src).findings.is_empty());
     }
 }

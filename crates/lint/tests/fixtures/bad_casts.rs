@@ -1,0 +1,22 @@
+//! Known-bad fixture for D05: lossy numeric casts whose source type is
+//! locally evident, plus value-preserving and unresolvable casts that
+//! must stay silent.
+
+pub struct Totals {
+    pub area: Vec<u128>,
+    pub grand: u128,
+}
+
+impl Totals {
+    pub fn squeeze(&self, moment: i128, count: u64) -> u64 {
+        let a = self.grand as u64;
+        let b = moment as i64;
+        let c = self.area[0] as u64;
+        let d = 7u128 as u64;
+        let e = count as i64;
+        let f = self.area.len() as u32;
+        let ok_widen = count as u128;
+        let ok_unknown = helper() as u16;
+        a + b as u64 + c + d + e as u64 + f as u64 + ok_widen as u64 + ok_unknown as u64
+    }
+}

@@ -1,0 +1,21 @@
+//! Known-bad fixture for P01: unwrap/expect/panic! without a
+//! justifying audit comment, plus one properly justified site.
+
+pub fn take(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn demand(v: Option<u64>) -> u64 {
+    v.expect("value present")
+}
+
+pub fn refuse(flag: bool) {
+    if flag {
+        panic!("refused");
+    }
+}
+
+pub fn justified(v: Option<u64>) -> u64 {
+    // PANIC: v is Some by construction — the caller checked is_some().
+    v.unwrap()
+}

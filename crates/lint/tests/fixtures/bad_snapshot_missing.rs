@@ -1,0 +1,26 @@
+//! Known-bad fixture for S02: a `Snapshot` impl that forgets one field.
+//!
+//! `encode` writes `gens` and `free` but never `slots` (line 9 is the
+//! field declaration the finding anchors to) — exactly the
+//! silent-resume-corruption class the rule exists to catch. Also seeds
+//! an extra-field write (`self.ghost`).
+
+pub struct ShardLedger {
+    pub slots: Vec<u64>,
+    pub gens: Vec<u32>,
+    pub free: Vec<u32>,
+}
+
+impl Snapshot for ShardLedger {
+    fn encode(&self, w: &mut Writer) {
+        self.gens.encode(w);
+        self.free.encode(w);
+        w.u64(self.ghost);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let gens = Snapshot::decode(r)?;
+        let free = Snapshot::decode(r)?;
+        Ok(ShardLedger { slots: Vec::new(), gens, free })
+    }
+}

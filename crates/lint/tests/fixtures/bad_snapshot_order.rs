@@ -1,0 +1,21 @@
+//! Known-bad fixture for S02 ordering: every field is covered, but
+//! `decode` reads `seq` before `jobs` while `encode` writes `jobs`
+//! first — the restored value silently swaps the two wire slots.
+
+pub struct EpochState {
+    pub jobs: Vec<u64>,
+    pub seq: u64,
+}
+
+impl Snapshot for EpochState {
+    fn encode(&self, w: &mut Writer) {
+        self.jobs.encode(w);
+        w.u64(self.seq);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let seq = r.u64()?;
+        let jobs = Snapshot::decode(r)?;
+        Ok(EpochState { jobs, seq })
+    }
+}

@@ -14,7 +14,9 @@
 /// Handle to one arena slot. Packs `(slot index, generation)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Key {
+    // lint:allow(S02) -- packed: encode writes pack(); decode rebuilds via unpack()
     slot: u32,
+    // lint:allow(S02) -- packed: encode writes pack(); decode rebuilds via unpack()
     gen: u32,
 }
 
@@ -28,6 +30,7 @@ impl Key {
     pub fn unpack(raw: u64) -> Key {
         Key {
             slot: (raw >> 32) as u32,
+            // lint:allow(D05) -- intentional: the key's generation is the low 32 bits
             gen: raw as u32,
         }
     }

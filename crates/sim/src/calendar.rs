@@ -95,14 +95,18 @@ pub struct Calendar<E> {
     /// the earliest `(time, seq)` sits at the back.
     ring: Vec<Vec<Entry<E>>>,
     /// One bit per bucket: set iff the bucket is non-empty.
+    // lint:allow(S02) -- derived: decode re-buckets every entry and rebuilds the bitmap
     occ: u64,
     /// Index of the bucket the wheel is currently draining.
+    // lint:allow(S02) -- derived: re-anchored from the restored clock by prepare_min
     cur: usize,
     /// Absolute time (ns) of the start of bucket 0's coverage.
+    // lint:allow(S02) -- derived: decode recomputes the window from `now`
     window_start: u64,
     /// Events at or beyond the window end.
     far: BinaryHeap<Entry<E>>,
     /// Events in the ring (the far heap tracks its own length).
+    // lint:allow(S02) -- derived: recomputed while re-bucketing entries on decode
     ring_len: usize,
     next_seq: u64,
     now: SimTime,

@@ -236,30 +236,37 @@ impl<'a> Reader<'a> {
     }
 
     pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        // PANIC: take(n) returned exactly n bytes.
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len checked")))
     }
 
     pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        // PANIC: take(n) returned exactly n bytes.
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
     }
 
     pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        // PANIC: take(n) returned exactly n bytes.
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
     }
 
     pub fn u128(&mut self) -> Result<u128, SnapshotError> {
+        // PANIC: take(n) returned exactly n bytes.
         Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("len checked")))
     }
 
     pub fn i16(&mut self) -> Result<i16, SnapshotError> {
+        // PANIC: take(n) returned exactly n bytes.
         Ok(i16::from_le_bytes(self.take(2)?.try_into().expect("len checked")))
     }
 
     pub fn i32(&mut self) -> Result<i32, SnapshotError> {
+        // PANIC: take(n) returned exactly n bytes.
         Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
     }
 
     pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        // PANIC: take(n) returned exactly n bytes.
         Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
     }
 
@@ -528,6 +535,7 @@ impl SnapshotFile {
         let magic = r.take(4)?;
         if magic != MAGIC {
             return Err(SnapshotError::Incompatible {
+                // PANIC: MAGIC is a const ASCII byte string.
                 expected: format!("magic {:?}", std::str::from_utf8(&MAGIC).expect("ascii")),
                 found: format!("magic {magic:?}"),
             });
